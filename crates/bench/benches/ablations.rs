@@ -1,0 +1,82 @@
+//! Timing ablations of the design choices DESIGN.md calls out:
+//! k-shape vs the k-means baseline, FFT-accelerated vs naive correlation,
+//! and the cost of the measurement pipeline vs the expected-value path.
+//! (Output-quality ablations live in the `ablations` binary.)
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mobilenet_bench::small_study;
+use mobilenet_core::peaks::{detect_peaks, PeakConfig};
+use mobilenet_geo::{Country, CountryConfig};
+use mobilenet_netsim::{collect, NetsimConfig};
+use mobilenet_timeseries::fft::{cross_correlation, cross_correlation_naive};
+use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog, TrafficConfig};
+
+fn kshape_vs_kmeans(c: &mut Criterion) {
+    let study = small_study();
+    let series: Vec<Vec<f64>> = (0..20)
+        .map(|s| study.dataset().national_series(Direction::Down, s).to_vec())
+        .collect();
+    let mut g = c.benchmark_group("ablation_clustering");
+    for k in [3usize, 6, 10] {
+        g.bench_with_input(BenchmarkId::new("kshape", k), &k, |b, &k| {
+            b.iter(|| mobilenet_cluster::kshape(black_box(&series), k, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans", k), &k, |b, &k| {
+            b.iter(|| mobilenet_cluster::kmeans(black_box(&series), k, 1))
+        });
+    }
+    g.finish();
+}
+
+fn fft_vs_naive_correlation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_correlation");
+    for n in [168usize, 672, 2688] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3 + 1.0).cos()).collect();
+        g.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| cross_correlation(black_box(&x), black_box(&y)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| cross_correlation_naive(black_box(&x), black_box(&y)))
+        });
+    }
+    g.finish();
+}
+
+fn measured_vs_expected_path(c: &mut Criterion) {
+    let country = Arc::new(Country::generate(&CountryConfig::small(), 1));
+    let catalog = Arc::new(ServiceCatalog::standard(80));
+    let model = DemandModel::new(country, catalog, TrafficConfig::fast(), 1);
+    let mut g = c.benchmark_group("ablation_pipeline");
+    g.sample_size(10);
+    g.bench_function("measured_collect", |b| {
+        b.iter(|| collect(&model, &NetsimConfig::standard(), 1))
+    });
+    g.bench_function("expected_dataset", |b| b.iter(|| model.expected_dataset()));
+    g.finish();
+}
+
+fn detector_lag_sweep(c: &mut Criterion) {
+    let study = small_study();
+    let series = study.dataset().national_series(Direction::Down, 0).to_vec();
+    let mut g = c.benchmark_group("ablation_peak_lag");
+    for lag in [2usize, 4, 8, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(lag), &lag, |b, &lag| {
+            let cfg = PeakConfig { lag, ..PeakConfig::paper() };
+            b.iter(|| detect_peaks(black_box(&series), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    kshape_vs_kmeans,
+    fft_vs_naive_correlation,
+    measured_vs_expected_path,
+    detector_lag_sweep
+);
+criterion_main!(ablations);

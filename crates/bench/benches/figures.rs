@@ -1,0 +1,105 @@
+//! One benchmark per table/figure of the paper: measures the cost of
+//! regenerating each analysis on a cached small study. The `figures`
+//! binary produces the actual CSV/PGM artefacts; these benches track the
+//! analysis cost itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mobilenet_bench::small_study;
+use mobilenet_core::maps::{coverage_map, per_user_map};
+use mobilenet_core::peaks::{detect_peaks, PeakConfig};
+use mobilenet_core::ranking::{service_ranking, zipf_ranking};
+use mobilenet_core::spatial::{concentration, spatial_correlation};
+use mobilenet_core::temporal::{clustering_sweep, Algorithm};
+use mobilenet_core::topical::topical_profiles;
+use mobilenet_core::urbanization::urbanization_profiles;
+use mobilenet_traffic::Direction;
+
+fn fig2_zipf(c: &mut Criterion) {
+    let study = small_study();
+    c.bench_function("fig2_zipf_ranking", |b| b.iter(|| zipf_ranking(study)));
+}
+
+fn fig3_ranking(c: &mut Criterion) {
+    let study = small_study();
+    c.bench_function("fig3_service_ranking", |b| {
+        b.iter(|| service_ranking(study, Direction::Down))
+    });
+}
+
+fn fig4_peaks(c: &mut Criterion) {
+    let study = small_study();
+    let series = study.dataset().national_series(Direction::Down, 2).to_vec();
+    c.bench_function("fig4_peak_detection", |b| {
+        b.iter(|| detect_peaks(&series, &PeakConfig::paper()))
+    });
+}
+
+fn fig5_kshape_sweep(c: &mut Criterion) {
+    let study = small_study();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("kshape_index_sweep", |b| {
+        b.iter(|| clustering_sweep(study, Direction::Down, Algorithm::KShape, 1))
+    });
+    g.finish();
+}
+
+fn fig6_fig7_topical(c: &mut Criterion) {
+    let study = small_study();
+    c.bench_function("fig6_fig7_topical_profiles", |b| {
+        b.iter(|| topical_profiles(study, Direction::Down, &PeakConfig::paper()))
+    });
+}
+
+fn fig8_concentration(c: &mut Criterion) {
+    let study = small_study();
+    let twitter = study
+        .catalog()
+        .head()
+        .iter()
+        .position(|s| s.name == "Twitter")
+        .unwrap();
+    c.bench_function("fig8_concentration", |b| b.iter(|| concentration(study, twitter)));
+}
+
+fn fig9_maps(c: &mut Criterion) {
+    let study = small_study();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("per_user_map_120px", |b| {
+        b.iter(|| per_user_map(study, Direction::Down, 7, 120))
+    });
+    g.bench_function("coverage_map_120px", |b| {
+        b.iter(|| coverage_map(study.country(), 120))
+    });
+    g.finish();
+}
+
+fn fig10_spatial_corr(c: &mut Criterion) {
+    let study = small_study();
+    c.bench_function("fig10_spatial_correlation", |b| {
+        b.iter(|| spatial_correlation(study, Direction::Down))
+    });
+}
+
+fn fig11_urbanization(c: &mut Criterion) {
+    let study = small_study();
+    c.bench_function("fig11_urbanization", |b| {
+        b.iter(|| urbanization_profiles(study, Direction::Down))
+    });
+}
+
+criterion_group!(
+    figures,
+    fig2_zipf,
+    fig3_ranking,
+    fig4_peaks,
+    fig5_kshape_sweep,
+    fig6_fig7_topical,
+    fig8_concentration,
+    fig9_maps,
+    fig10_spatial_corr,
+    fig11_urbanization
+);
+criterion_main!(figures);

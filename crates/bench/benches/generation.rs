@@ -1,0 +1,60 @@
+//! Benchmarks of the synthetic substrate: geography generation, demand
+//! construction, session sampling and the full collection pipeline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mobilenet_geo::{Country, CountryConfig};
+use mobilenet_netsim::{collect, NetsimConfig};
+use mobilenet_traffic::{DemandModel, ServiceCatalog, SessionGenerator, TrafficConfig};
+
+fn bench_country(c: &mut Criterion) {
+    let cfg = CountryConfig::small();
+    c.bench_function("country_generate_1k_communes", |b| {
+        b.iter(|| Country::generate(&cfg, 1));
+    });
+}
+
+fn bench_demand_model(c: &mut Criterion) {
+    let country = Arc::new(Country::generate(&CountryConfig::small(), 1));
+    let catalog = Arc::new(ServiceCatalog::standard(480));
+    c.bench_function("demand_model_build_1k", |b| {
+        b.iter(|| {
+            DemandModel::new(country.clone(), catalog.clone(), TrafficConfig::fast(), 1)
+        });
+    });
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let country = Arc::new(Country::generate(&CountryConfig::small(), 1));
+    let catalog = Arc::new(ServiceCatalog::standard(80));
+    let model = DemandModel::new(country, catalog, TrafficConfig::fast(), 1);
+    c.bench_function("session_generation_1k_fast", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            SessionGenerator::new(&model, 1).generate(|_| n += 1);
+            n
+        });
+    });
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let country = Arc::new(Country::generate(&CountryConfig::small(), 1));
+    let catalog = Arc::new(ServiceCatalog::standard(80));
+    let model = DemandModel::new(country, catalog, TrafficConfig::fast(), 1);
+    let netsim = NetsimConfig::standard();
+    c.bench_function("collect_pipeline_1k_fast", |b| {
+        b.iter(|| collect(&model, &netsim, 1));
+    });
+    c.bench_function("expected_dataset_1k", |b| {
+        b.iter(|| model.expected_dataset());
+    });
+}
+
+criterion_group! {
+    name = generation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_country, bench_demand_model, bench_sessions, bench_collect
+}
+criterion_main!(generation);

@@ -1,0 +1,97 @@
+//! Microbenchmarks of the numerical kernels everything else is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mobilenet_core::peaks::{detect_peaks, PeakConfig};
+use mobilenet_timeseries::fft::{cross_correlation, cross_correlation_naive, fft_real};
+use mobilenet_timeseries::norm::z_normalize;
+use mobilenet_timeseries::sbd::{sbd_matrix, shape_based_distance};
+use mobilenet_timeseries::stats::{pearson_r, Ecdf};
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.31 + phase).sin() + 0.3 * (i as f64 * 0.05).cos()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let s = series(n, 0.0);
+        g.bench_with_input(BenchmarkId::new("fft_real", n), &s, |b, s| {
+            b.iter(|| fft_real(black_box(s), s.len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cross_correlation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cross_correlation");
+    // The paper's series length: one week of hours.
+    let x = series(168, 0.0);
+    let y = series(168, 1.0);
+    g.bench_function("fft_168", |b| {
+        b.iter(|| cross_correlation(black_box(&x), black_box(&y)));
+    });
+    g.bench_function("naive_168", |b| {
+        b.iter(|| cross_correlation_naive(black_box(&x), black_box(&y)));
+    });
+    g.finish();
+}
+
+fn bench_sbd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbd");
+    let x = z_normalize(&series(168, 0.0));
+    let y = z_normalize(&series(168, 0.7));
+    g.bench_function("pair_168", |b| {
+        b.iter(|| shape_based_distance(black_box(&x), black_box(&y)));
+    });
+    let set: Vec<Vec<f64>> = (0..20).map(|i| z_normalize(&series(168, i as f64))).collect();
+    g.bench_function("matrix_20x168", |b| {
+        b.iter(|| sbd_matrix(black_box(&set)));
+    });
+    g.finish();
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let s = series(168, 0.0).iter().map(|v| v + 2.0).collect::<Vec<_>>();
+    c.bench_function("smoothed_zscore_168", |b| {
+        b.iter(|| detect_peaks(black_box(&s), &PeakConfig::paper()));
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let x = series(6000, 0.0);
+    let y = series(6000, 0.4);
+    g.bench_function("pearson_6000", |b| {
+        b.iter(|| pearson_r(black_box(&x), black_box(&y)));
+    });
+    g.bench_function("ecdf_build_6000", |b| {
+        b.iter(|| Ecdf::new(black_box(&x)));
+    });
+    g.bench_function("z_normalize_168", |b| {
+        let s = series(168, 0.0);
+        b.iter(|| z_normalize(black_box(&s)));
+    });
+    g.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let set: Vec<Vec<f64>> = (0..20).map(|i| series(168, i as f64 * 0.9)).collect();
+    c.bench_function("kshape_k5_20x168", |b| {
+        b.iter(|| mobilenet_cluster::kshape(black_box(&set), 5, 1));
+    });
+    c.bench_function("kmeans_k5_20x168", |b| {
+        b.iter(|| mobilenet_cluster::kmeans(black_box(&set), 5, 1));
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_fft,
+    bench_cross_correlation,
+    bench_sbd,
+    bench_peaks,
+    bench_stats,
+    bench_clustering
+);
+criterion_main!(kernels);

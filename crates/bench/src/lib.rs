@@ -1,0 +1,40 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Benches and the `figures` binary both need a generated study; building
+//! one per measurement would swamp the timings, so fixtures are cached in
+//! process-wide `OnceLock`s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use mobilenet_core::study::{Study, StudyConfig};
+
+/// The benchmark seed: fixed so numbers are comparable across runs.
+pub const SEED: u64 = 2016_09_24;
+
+/// A small (1,000-commune) measured study, built once.
+pub fn small_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::small(), SEED))
+}
+
+/// A medium (6,000-commune) measured study, built once. This is the scale
+/// the shipped figures use.
+pub fn medium_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::generate(&StudyConfig::medium(), SEED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_study_is_cached() {
+        let a = small_study() as *const Study;
+        let b = small_study() as *const Study;
+        assert_eq!(a, b);
+    }
+}

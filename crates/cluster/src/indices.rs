@@ -1,0 +1,280 @@
+//! Cluster-quality indices.
+//!
+//! Figure 5 of the paper ranks k-shape outputs for every `k` with four
+//! indices — **Davies-Bouldin** and **modified Davies-Bouldin (DB\*)**
+//! (minimum is best) plus **Dunn** and **Silhouette** (maximum is best) —
+//! a representative selection from Milligan & Cooper's classic survey.
+//! All four are implemented parametrically in the distance function so the
+//! same code ranks SBD-based (k-shape) and Euclidean (k-means)
+//! clusterings.
+
+use crate::Clustering;
+
+/// Average distance of each cluster's members to its centroid.
+fn scatter<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: &D,
+) -> Vec<f64> {
+    let k = clustering.k();
+    let mut sums = vec![0.0; k];
+    let mut counts = vec![0usize; k];
+    for (s, &a) in series.iter().zip(clustering.assignments.iter()) {
+        sums[a] += dist(s, &clustering.centroids[a]);
+        counts[a] += 1;
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect()
+}
+
+/// Davies-Bouldin index (lower is better):
+/// `DB = (1/k) Σᵢ maxⱼ≠ᵢ (Sᵢ + Sⱼ) / d(cᵢ, cⱼ)`.
+///
+/// Returns `f64::INFINITY` when two centroids coincide; `k < 2` is
+/// rejected because the index is undefined there.
+pub fn davies_bouldin<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: D,
+) -> f64 {
+    let k = clustering.k();
+    assert!(k >= 2, "Davies-Bouldin requires k >= 2");
+    let s = scatter(series, clustering, &dist);
+    let mut total = 0.0;
+    for i in 0..k {
+        let mut worst = 0.0f64;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let sep = dist(&clustering.centroids[i], &clustering.centroids[j]);
+            let r = if sep > 0.0 { (s[i] + s[j]) / sep } else { f64::INFINITY };
+            worst = worst.max(r);
+        }
+        total += worst;
+    }
+    total / k as f64
+}
+
+/// Modified Davies-Bouldin index DB\* (Kim & Ramakrishna; lower is
+/// better): the worst *cohesion* pair over the best *separation*,
+/// `DB* = (1/k) Σᵢ [maxⱼ≠ᵢ (Sᵢ + Sⱼ)] / [minⱼ≠ᵢ d(cᵢ, cⱼ)]`.
+pub fn davies_bouldin_star<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: D,
+) -> f64 {
+    let k = clustering.k();
+    assert!(k >= 2, "DB* requires k >= 2");
+    let s = scatter(series, clustering, &dist);
+    let mut total = 0.0;
+    for i in 0..k {
+        let mut max_cohesion = 0.0f64;
+        let mut min_sep = f64::INFINITY;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            max_cohesion = max_cohesion.max(s[i] + s[j]);
+            min_sep = min_sep.min(dist(&clustering.centroids[i], &clustering.centroids[j]));
+        }
+        total += if min_sep > 0.0 { max_cohesion / min_sep } else { f64::INFINITY };
+    }
+    total / k as f64
+}
+
+/// Dunn index (higher is better): smallest between-cluster member
+/// distance over the largest within-cluster diameter.
+pub fn dunn<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: D,
+) -> f64 {
+    let k = clustering.k();
+    assert!(k >= 2, "Dunn requires k >= 2");
+    let n = series.len();
+    let mut min_between = f64::INFINITY;
+    let mut max_within = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(&series[i], &series[j]);
+            if clustering.assignments[i] == clustering.assignments[j] {
+                max_within = max_within.max(d);
+            } else {
+                min_between = min_between.min(d);
+            }
+        }
+    }
+    if max_within <= 0.0 {
+        // All clusters are singletons or contain identical points.
+        return f64::INFINITY;
+    }
+    min_between / max_within
+}
+
+/// Mean Silhouette coefficient (higher is better, in `[-1, 1]`):
+/// per-point `(b − a) / max(a, b)` with `a` the mean distance to own
+/// cluster and `b` the smallest mean distance to another cluster.
+/// Singleton clusters contribute 0, the standard convention.
+pub fn silhouette<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: D,
+) -> f64 {
+    let k = clustering.k();
+    assert!(k >= 2, "Silhouette requires k >= 2");
+    let n = series.len();
+    let sizes = clustering.sizes();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = clustering.assignments[i];
+        if sizes[own] <= 1 {
+            continue; // contributes 0
+        }
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[clustering.assignments[j]] += dist(&series[i], &series[j]);
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Two tight, well-separated 1-D blobs embedded as 2-vectors.
+    fn blobs() -> (Vec<Vec<f64>>, Clustering) {
+        let series = vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+            vec![10.0, 10.1],
+            vec![10.1, 10.0],
+            vec![10.05, 10.05],
+        ];
+        let clustering = Clustering {
+            assignments: vec![0, 0, 0, 1, 1, 1],
+            centroids: vec![vec![0.05, 0.05], vec![10.05, 10.05]],
+            iterations: 1,
+            converged: true,
+        };
+        (series, clustering)
+    }
+
+    /// The same points split badly (mixing the blobs).
+    fn bad_split() -> (Vec<Vec<f64>>, Clustering) {
+        let (series, _) = blobs();
+        let clustering = Clustering {
+            assignments: vec![0, 1, 0, 1, 0, 1],
+            centroids: vec![vec![3.38, 3.4], vec![6.73, 6.7]],
+            iterations: 1,
+            converged: true,
+        };
+        (series, clustering)
+    }
+
+    #[test]
+    fn good_clustering_beats_bad_on_every_index() {
+        let (series, good) = blobs();
+        let (_, bad) = bad_split();
+        // Lower is better.
+        assert!(
+            davies_bouldin(&series, &good, euclid) < davies_bouldin(&series, &bad, euclid)
+        );
+        assert!(
+            davies_bouldin_star(&series, &good, euclid)
+                < davies_bouldin_star(&series, &bad, euclid)
+        );
+        // Higher is better.
+        assert!(dunn(&series, &good, euclid) > dunn(&series, &bad, euclid));
+        assert!(silhouette(&series, &good, euclid) > silhouette(&series, &bad, euclid));
+    }
+
+    #[test]
+    fn perfect_separation_has_near_one_silhouette() {
+        let (series, good) = blobs();
+        let s = silhouette(&series, &good, euclid);
+        assert!(s > 0.95, "silhouette {s}");
+    }
+
+    #[test]
+    fn dunn_rewards_wide_separation() {
+        let (series, good) = blobs();
+        let d = dunn(&series, &good, euclid);
+        // Separation ≈ 14 vs diameter ≈ 0.14 → large ratio.
+        assert!(d > 50.0, "dunn {d}");
+    }
+
+    #[test]
+    fn db_star_upper_bounds_db() {
+        // DB* replaces the per-pair denominator with the *minimum*
+        // separation, so DB* >= DB on any clustering.
+        let (series, _) = blobs();
+        for k in 2..=3 {
+            let c = kmeans(&series, k, 1);
+            let db = davies_bouldin(&series, &c, euclid);
+            let dbs = davies_bouldin_star(&series, &c, euclid);
+            assert!(dbs >= db - 1e-12, "k={k}: DB*={dbs} < DB={db}");
+        }
+    }
+
+    #[test]
+    fn coincident_centroids_blow_up_db() {
+        let (series, mut clustering) = blobs();
+        clustering.centroids[1] = clustering.centroids[0].clone();
+        assert_eq!(davies_bouldin(&series, &clustering, euclid), f64::INFINITY);
+    }
+
+    #[test]
+    fn all_singletons_give_infinite_dunn() {
+        let series = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let clustering = Clustering {
+            assignments: vec![0, 1, 2],
+            centroids: vec![vec![0.0], vec![1.0], vec![2.0]],
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(dunn(&series, &clustering, euclid), f64::INFINITY);
+        // Silhouette of all-singletons is 0 by convention.
+        assert_eq!(silhouette(&series, &clustering, euclid), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires k >= 2")]
+    fn k_one_is_rejected() {
+        let series = vec![vec![0.0], vec![1.0]];
+        let clustering = Clustering {
+            assignments: vec![0, 0],
+            centroids: vec![vec![0.5]],
+            iterations: 1,
+            converged: true,
+        };
+        davies_bouldin(&series, &clustering, euclid);
+    }
+}

@@ -1,0 +1,360 @@
+//! k-Shape clustering (Paparrizos & Gravano, SIGMOD 2015).
+//!
+//! k-Shape is a k-means-style loop specialized for time-series shape:
+//!
+//! * **assignment** uses the shape-based distance (SBD), i.e. one minus the
+//!   maximum coefficient-normalized cross-correlation over all shifts;
+//! * **refinement** computes each cluster's centroid by *shape
+//!   extraction*: members are aligned to the current centroid at their
+//!   optimal shift, and the new centroid is the dominant eigenvector of
+//!   the centred scatter matrix `Qᵀ(Σ yᵢyᵢᵀ)Q` — the shape maximizing the
+//!   summed squared cross-correlation with all members.
+//!
+//! Inputs are z-normalized internally, as the algorithm requires.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mobilenet_timeseries::norm::z_normalize;
+use mobilenet_timeseries::sbd::{ncc_c, shape_based_distance, shift_series};
+
+use crate::linalg::{dominant_eigenpair, SquareMatrix};
+use crate::Clustering;
+
+/// Upper bound on refinement/assignment rounds.
+const MAX_ITER: usize = 100;
+
+/// Runs k-Shape on `series` (equal lengths) with `k` clusters.
+///
+/// `seed` controls the initial random assignment; the rest of the
+/// algorithm is deterministic.
+///
+/// # Panics
+///
+/// Panics if `series` is empty, lengths differ, `k == 0` or
+/// `k > series.len()`.
+pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    validate(series, k);
+    let n = series.len();
+    let m = series[0].len();
+    let z: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b73_6861_7065_3031); // "kshape01"
+    let mut assignments: Vec<usize> = (0..n).map(|i| if i < k { i } else { rng.gen_range(0..k) }).collect();
+    let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    for iter in 0..MAX_ITER {
+        iterations = iter + 1;
+
+        // Refinement.
+        for c in 0..k {
+            let members: Vec<&[f64]> = assignments
+                .iter()
+                .zip(z.iter())
+                .filter(|(&a, _)| a == c)
+                .map(|(_, s)| s.as_slice())
+                .collect();
+            if members.is_empty() {
+                continue; // handled after assignment
+            }
+            centroids[c] = shape_extraction(&members, &centroids[c]);
+        }
+
+        // Assignment.
+        let mut changed = false;
+        for (i, zi) in z.iter().enumerate() {
+            let mut best = (f64::INFINITY, assignments[i]);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = if centroid.iter().all(|v| *v == 0.0) {
+                    // Fresh/empty centroid: neutral distance so it can
+                    // still attract members on the first round.
+                    1.0
+                } else {
+                    shape_based_distance(zi, centroid)
+                };
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if best.1 != assignments[i] {
+                assignments[i] = best.1;
+                changed = true;
+            }
+        }
+
+        // Empty-cluster repair: move the point farthest from its centroid
+        // into each empty cluster (deterministic).
+        let mut sizes = vec![0usize; k];
+        for &a in &assignments {
+            sizes[a] += 1;
+        }
+        for c in 0..k {
+            if sizes[c] > 0 {
+                continue;
+            }
+            let (worst, _) = assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| sizes[a] > 1)
+                .map(|(i, &a)| {
+                    let d = shape_based_distance(&z[i], &centroids[a]);
+                    (i, d)
+                })
+                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                .expect("some cluster has more than one member");
+            sizes[assignments[worst]] -= 1;
+            assignments[worst] = c;
+            sizes[c] = 1;
+            changed = true;
+        }
+
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    Clustering { assignments, centroids, iterations, converged }
+}
+
+/// Shape extraction: the new centroid of a set of (z-normalized) members,
+/// given the previous centroid as alignment reference.
+fn shape_extraction(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
+    let m = reference.len();
+    // Align members to the reference (a zero reference means no alignment).
+    let aligned: Vec<Vec<f64>> = members
+        .iter()
+        .map(|s| {
+            if reference.iter().all(|v| *v == 0.0) {
+                s.to_vec()
+            } else {
+                let a = ncc_c(reference, s);
+                shift_series(s, a.shift)
+            }
+        })
+        .collect();
+
+    // Scatter matrix S = Σ yᵀy, centred: M = Q S Q with Q = I − 1/m.
+    let mut s_mat = SquareMatrix::zeros(m);
+    for y in &aligned {
+        for i in 0..m {
+            if y[i] == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                s_mat.add(i, j, y[i] * y[j]);
+            }
+        }
+    }
+    let centred = center_both_sides(&s_mat);
+
+    match dominant_eigenpair(&centred, 300, 1e-10) {
+        None => vec![0.0; m],
+        Some(pair) => {
+            let mut v = pair.vector;
+            // Eigenvector sign is arbitrary: pick the orientation closer to
+            // the first member.
+            let d_pos = sq_dist(&aligned[0], &v);
+            let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+            let d_neg = sq_dist(&aligned[0], &neg);
+            if d_neg < d_pos {
+                v = neg;
+            }
+            z_normalize(&v)
+        }
+    }
+}
+
+/// `Q S Q` with `Q = I − (1/m)·1` — subtracts row and column means and adds
+/// back the grand mean.
+fn center_both_sides(s: &SquareMatrix) -> SquareMatrix {
+    let m = s.n();
+    let mf = m as f64;
+    let mut row_mean = vec![0.0; m];
+    let mut col_mean = vec![0.0; m];
+    let mut grand = 0.0;
+    for i in 0..m {
+        for j in 0..m {
+            let v = s.get(i, j);
+            row_mean[i] += v;
+            col_mean[j] += v;
+            grand += v;
+        }
+    }
+    for v in row_mean.iter_mut() {
+        *v /= mf;
+    }
+    for v in col_mean.iter_mut() {
+        *v /= mf;
+    }
+    grand /= mf * mf;
+    let mut out = SquareMatrix::zeros(m);
+    for i in 0..m {
+        for j in 0..m {
+            out.set(i, j, s.get(i, j) - row_mean[i] - col_mean[j] + grand);
+        }
+    }
+    out
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn validate(series: &[Vec<f64>], k: usize) {
+    assert!(!series.is_empty(), "cannot cluster zero series");
+    let m = series[0].len();
+    assert!(m > 0, "series must be non-empty");
+    assert!(series.iter().all(|s| s.len() == m), "series lengths must match");
+    assert!(k >= 1 && k <= series.len(), "k must be in 1..=n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three distinct shapes with shifts and noise.
+    fn labelled_shapes(per_class: usize, m: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..3usize {
+            for i in 0..per_class {
+                let shift = (i * 3) % 7;
+                let s: Vec<f64> = (0..m)
+                    .map(|t| {
+                        let x = (t + shift) as f64;
+                        let noise = ((t * 7 + i * 13 + class * 29) % 11) as f64 / 110.0;
+                        let v = match class {
+                            0 => (x * 0.3).sin(),
+                            1 => (x * 0.3).sin().abs() * 2.0 - 1.0, // rectified
+                            _ => {
+                                // Square-ish wave.
+                                if ((x * 0.15).sin()) > 0.0 {
+                                    1.0
+                                } else {
+                                    -1.0
+                                }
+                            }
+                        };
+                        v + noise
+                    })
+                    .collect();
+                series.push(s);
+                labels.push(class);
+            }
+        }
+        (series, labels)
+    }
+
+    /// Fraction of pairs on which two labelings agree (Rand index).
+    fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+        let n = a.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_a = a[i] == a[j];
+                let same_b = b[i] == b[j];
+                if same_a == same_b {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_well_separated_shape_classes() {
+        let (series, labels) = labelled_shapes(8, 64);
+        let best = (0..5)
+            .map(|seed| kshape(&series, 3, seed))
+            .map(|c| rand_index(&c.assignments, &labels))
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.85, "best Rand index {best}");
+    }
+
+    #[test]
+    fn is_shift_invariant_in_assignment() {
+        // Two classes that differ only by shape, members shifted copies.
+        // Compact-support pulses shift exactly under zero-fill.
+        let bump = |t: f64, c: f64, w: f64| (-(t - c) * (t - c) / (2.0 * w * w)).exp();
+        let base_a: Vec<f64> = (0..48).map(|t| bump(t as f64, 10.0, 2.5)).collect();
+        let base_b: Vec<f64> = (0..48)
+            .map(|t| bump(t as f64, 8.0, 1.2) - bump(t as f64, 16.0, 1.2))
+            .collect();
+        let mut series = Vec::new();
+        for shift in [0isize, 5, 11] {
+            series.push(shift_series(&base_a, shift));
+            series.push(shift_series(&base_b, shift));
+        }
+        let c = kshape(&series, 2, 3);
+        // All A-shaped in one cluster, all B-shaped in the other.
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_eq!(c.assignments[0], c.assignments[4]);
+        assert_eq!(c.assignments[1], c.assignments[3]);
+        assert_eq!(c.assignments[1], c.assignments[5]);
+        assert_ne!(c.assignments[0], c.assignments[1]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let (series, _) = labelled_shapes(2, 32);
+        let c = kshape(&series, series.len(), 1);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert!(sizes.iter().all(|&s| s == 1), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn k_equals_one_groups_everything() {
+        let (series, _) = labelled_shapes(3, 32);
+        let c = kshape(&series, 1, 1);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        assert_eq!(c.k(), 1);
+        // Centroid is z-normalized (unit variance).
+        let var: f64 =
+            c.centroids[0].iter().map(|x| x * x).sum::<f64>() / c.centroids[0].len() as f64;
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_cluster_is_left_empty() {
+        let (series, _) = labelled_shapes(4, 40);
+        for k in 2..=6 {
+            let c = kshape(&series, k, 7);
+            assert!(c.sizes().iter().all(|&s| s > 0), "k={k}: {:?}", c.sizes());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (series, _) = labelled_shapes(5, 48);
+        let a = kshape(&series, 3, 42);
+        let b = kshape(&series, 3, 42);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn converges_within_the_cap() {
+        let (series, _) = labelled_shapes(6, 48);
+        let c = kshape(&series, 3, 0);
+        assert!(c.converged, "did not converge in {} iterations", c.iterations);
+        assert!(c.iterations < MAX_ITER);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_zero_is_rejected() {
+        kshape(&[vec![1.0, 2.0]], 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn ragged_input_is_rejected() {
+        kshape(&[vec![1.0, 2.0], vec![1.0]], 1, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Small dense-matrix kernels for shape extraction.
+//!
+//! k-Shape's centroid refinement needs the dominant eigenvector of a
+//! symmetric `m × m` matrix (`m` = series length, 168 here). Power
+//! iteration with periodic renormalization is entirely adequate at that
+//! size and keeps the workspace dependency-free.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "need n² entries");
+        SquareMatrix { n, data }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+}
+
+/// Result of a dominant-eigenpair computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenPair {
+    /// The dominant eigenvalue (largest in magnitude).
+    pub value: f64,
+    /// The corresponding unit eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Computes the dominant eigenpair of a symmetric matrix by power
+/// iteration.
+///
+/// Returns `None` when the iteration degenerates (zero matrix). The
+/// starting vector is deterministic, so results are reproducible.
+pub fn dominant_eigenpair(m: &SquareMatrix, max_iter: usize, tol: f64) -> Option<EigenPair> {
+    let n = m.n();
+    if n == 0 {
+        return None;
+    }
+    // Deterministic, non-degenerate start: varying entries to avoid being
+    // orthogonal to the dominant eigenvector by symmetry.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin() * 0.5).collect();
+    normalize(&mut v)?;
+
+    let mut lambda = 0.0;
+    for _ in 0..max_iter {
+        let mut w = m.mul_vec(&v);
+        let new_lambda = dot(&v, &w);
+        if normalize(&mut w).is_none() {
+            return None; // matrix annihilated the vector
+        }
+        let delta = (new_lambda - lambda).abs();
+        v = w;
+        lambda = new_lambda;
+        if delta <= tol * lambda.abs().max(1.0) {
+            break;
+        }
+    }
+    Some(EigenPair { value: lambda, vector: v })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> Option<()> {
+    let norm = dot(v, v).sqrt();
+    if norm <= 1e-300 {
+        return None;
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        let m = SquareMatrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mut m = SquareMatrix::zeros(3);
+        m.set(0, 2, 5.0);
+        m.add(0, 2, 1.0);
+        assert_eq!(m.get(0, 2), 6.0);
+        assert_eq!(m.n(), 3);
+    }
+
+    #[test]
+    fn dominant_eigenpair_of_diagonal_matrix() {
+        let mut m = SquareMatrix::zeros(3);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 5.0);
+        m.set(2, 2, 2.0);
+        let e = dominant_eigenpair(&m, 500, 1e-12).unwrap();
+        assert!((e.value - 5.0).abs() < 1e-9);
+        assert!((e.vector[1].abs() - 1.0).abs() < 1e-6);
+        assert!(e.vector[0].abs() < 1e-5 && e.vector[2].abs() < 1e-5);
+    }
+
+    #[test]
+    fn dominant_eigenpair_of_rank_one_matrix() {
+        // M = u uᵀ has dominant eigenvector u (normalized), eigenvalue |u|².
+        let u = [1.0, 2.0, -2.0];
+        let mut m = SquareMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, u[i] * u[j]);
+            }
+        }
+        let e = dominant_eigenpair(&m, 200, 1e-12).unwrap();
+        assert!((e.value - 9.0).abs() < 1e-9);
+        let norm_u = 3.0;
+        for i in 0..3 {
+            // Up to a global sign.
+            assert!(
+                (e.vector[i].abs() - (u[i] / norm_u).abs()).abs() < 1e-6,
+                "component {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_matrix_yields_none() {
+        let m = SquareMatrix::zeros(4);
+        assert!(dominant_eigenpair(&m, 100, 1e-10).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_yields_none() {
+        let m = SquareMatrix::zeros(0);
+        assert!(dominant_eigenpair(&m, 100, 1e-10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "n² entries")]
+    fn from_rows_validates_length() {
+        SquareMatrix::from_rows(2, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,19 @@
+use mobilenet_core::peaks::PeakConfig;
+use mobilenet_core::study::{Study, StudyConfig};
+use mobilenet_core::topical::topical_profiles;
+use mobilenet_traffic::{Direction, TopicalTime};
+fn main() {
+    for seed in [42u64, 99, 7, 1234, 555] {
+        let s = Study::generate(&StudyConfig::small().expected(), seed);
+        let profiles = topical_profiles(&s, Direction::Down, &PeakConfig::paper());
+        let mut missed = 0; let mut total = 0; let mut false_cb = 0;
+        for (spec, p) in s.catalog().head().iter().zip(profiles.iter()) {
+            for pk in &spec.peaks { if pk.intensity >= 0.4 { total += 1; if !p.has_peak[pk.time.index()] { missed += 1; } } }
+            for t in [TopicalTime::MorningCommute, TopicalTime::MorningBreak] {
+                if p.has_peak[t.index()] && spec.peak_at(t).is_none() { false_cb += 1; }
+            }
+        }
+        let breaks: Vec<&str> = profiles.iter().filter(|p| p.has_peak[TopicalTime::MorningBreak.index()]).map(|p| p.name).collect();
+        println!("seed {seed}: missed {missed}/{total}, false commute/break {false_cb}, breaks={breaks:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Dataset assembly: from nothing to an analyzable study.
+//!
+//! A [`Study`] bundles everything the analyses need: the generated
+//! country, the service catalog, and the commune-aggregated
+//! [`TrafficDataset`] — either collected through the full measurement
+//! pipeline (sessions → probes → DPI → aggregation, §2 of the paper) or
+//! evaluated as noise-free expectations for calibration work.
+
+use std::sync::Arc;
+
+use mobilenet_geo::{Country, CountryConfig};
+use mobilenet_netsim::{collect, CollectionStats, NetsimConfig};
+use mobilenet_traffic::{DemandModel, ServiceCatalog, TrafficConfig, TrafficDataset};
+
+/// Complete configuration of a study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Geography parameters.
+    pub country: CountryConfig,
+    /// Workload parameters.
+    pub traffic: TrafficConfig,
+    /// Measurement-pipeline parameters.
+    pub netsim: NetsimConfig,
+    /// Use the full session-level measurement pipeline (`true`) or the
+    /// noise-free expected-value path (`false`).
+    pub measured: bool,
+}
+
+impl StudyConfig {
+    /// A ~1,000-commune measured study — the unit-test scale.
+    pub fn small() -> Self {
+        StudyConfig {
+            country: CountryConfig::small(),
+            traffic: TrafficConfig::fast(),
+            netsim: NetsimConfig::standard(),
+            measured: true,
+        }
+    }
+
+    /// A ~6,000-commune measured study — the figure-generation scale.
+    pub fn medium() -> Self {
+        StudyConfig {
+            country: CountryConfig::medium(),
+            traffic: TrafficConfig::standard(),
+            netsim: NetsimConfig::standard(),
+            measured: true,
+        }
+    }
+
+    /// Full France scale (36,000 communes, 30 M subscribers).
+    pub fn france_scale() -> Self {
+        StudyConfig {
+            country: CountryConfig::france_scale(),
+            traffic: TrafficConfig::standard(),
+            netsim: NetsimConfig::standard(),
+            measured: true,
+        }
+    }
+
+    /// The same scale without measurement noise (expectations only).
+    pub fn expected(mut self) -> Self {
+        self.measured = false;
+        self
+    }
+}
+
+/// An assembled study: geography + catalog + one week of aggregated
+/// traffic.
+pub struct Study {
+    country: Arc<Country>,
+    catalog: Arc<ServiceCatalog>,
+    model: DemandModel,
+    dataset: TrafficDataset,
+    collection_stats: Option<CollectionStats>,
+}
+
+impl Study {
+    /// Generates a study end-to-end; deterministic in `(config, seed)`.
+    pub fn generate(config: &StudyConfig, seed: u64) -> Self {
+        let country = Arc::new(Country::generate(&config.country, seed));
+        let catalog = Arc::new(ServiceCatalog::standard(config.traffic.n_tail_services));
+        let model =
+            DemandModel::new(country.clone(), catalog.clone(), config.traffic.clone(), seed);
+        let (dataset, collection_stats) = if config.measured {
+            let out = collect(&model, &config.netsim, seed);
+            (out.dataset, Some(out.stats))
+        } else {
+            (model.expected_dataset(), None)
+        };
+        Study { country, catalog, model, dataset, collection_stats }
+    }
+
+    /// Assembles a study from an existing demand model and a collection
+    /// run over it — the hook ablation harnesses use to re-collect the
+    /// same demand under varying pipeline parameters.
+    pub fn from_parts(model: DemandModel, output: mobilenet_netsim::CollectionOutput) -> Self {
+        Study {
+            country: model.country_arc(),
+            catalog: model.catalog_arc(),
+            dataset: output.dataset,
+            collection_stats: Some(output.stats),
+            model,
+        }
+    }
+
+    /// The generated country.
+    pub fn country(&self) -> &Country {
+        &self.country
+    }
+
+    /// The service catalog (the generator's ground truth).
+    pub fn catalog(&self) -> &ServiceCatalog {
+        &self.catalog
+    }
+
+    /// The demand model the dataset was generated from.
+    pub fn model(&self) -> &DemandModel {
+        &self.model
+    }
+
+    /// The aggregated measurement tables.
+    pub fn dataset(&self) -> &TrafficDataset {
+        &self.dataset
+    }
+
+    /// Collection diagnostics (absent on the expected-value path).
+    pub fn collection_stats(&self) -> Option<&CollectionStats> {
+        self.collection_stats.as_ref()
+    }
+
+    /// Names of the head services, in catalog order.
+    pub fn service_names(&self) -> Vec<&'static str> {
+        self.catalog.head().iter().map(|s| s.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobilenet_traffic::Direction;
+
+    #[test]
+    fn measured_study_reports_collection_stats() {
+        let study = Study::generate(&StudyConfig::small(), 1);
+        let stats = study.collection_stats().expect("measured study has stats");
+        assert!(stats.sessions > 1_000);
+        assert!((stats.classification_rate() - 0.88).abs() < 0.03);
+        assert!(study.dataset().total(Direction::Down) > 0.0);
+    }
+
+    #[test]
+    fn expected_study_has_no_stats() {
+        let study = Study::generate(&StudyConfig::small().expected(), 1);
+        assert!(study.collection_stats().is_none());
+        assert!(study.dataset().total(Direction::Down) > 0.0);
+        assert_eq!(study.dataset().unclassified(Direction::Down), 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Study::generate(&StudyConfig::small(), 5);
+        let b = Study::generate(&StudyConfig::small(), 5);
+        assert_eq!(
+            a.dataset().national_weekly(Direction::Down, 0),
+            b.dataset().national_weekly(Direction::Down, 0)
+        );
+        assert_eq!(a.service_names(), b.service_names());
+        assert_eq!(a.service_names().len(), 20);
+    }
+
+    #[test]
+    fn measured_and_expected_totals_agree_up_to_classification() {
+        let measured = Study::generate(&StudyConfig::small(), 9);
+        let expected = Study::generate(&StudyConfig::small().expected(), 9);
+        let rate = 0.88;
+        let m = measured.dataset().national_weekly(Direction::Down, 0);
+        let e = expected.dataset().national_weekly(Direction::Down, 0) * rate;
+        assert!((m - e).abs() / e < 0.12, "measured {m} vs expected {e}");
+    }
+}

@@ -1,0 +1,272 @@
+//! The k-shape clustering experiment (§4, Figure 5).
+//!
+//! The paper exhaustively clusters the 20 services' weekly series with
+//! k-shape for every `k ∈ [2, 19]` and ranks the outcomes with four
+//! quality indices. No `k` wins: all indices indicate steadily decreasing
+//! quality as `k` grows, which the paper reads as each service having
+//! unique temporal dynamics. This module reproduces the full sweep.
+
+use mobilenet_cluster::{
+    davies_bouldin, davies_bouldin_star, dunn, kmeans, kshape, silhouette, Clustering,
+};
+use mobilenet_timeseries::norm::z_normalize;
+use mobilenet_timeseries::sbd::shape_based_distance;
+use mobilenet_traffic::Direction;
+
+use crate::study::Study;
+
+/// Which clustering algorithm a sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// k-Shape with shape-based distance (the paper's choice).
+    KShape,
+    /// Euclidean k-means on z-normalized series (ablation baseline).
+    KMeans,
+}
+
+/// Quality indices of one clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexScores {
+    /// Davies-Bouldin (minimum is best).
+    pub davies_bouldin: f64,
+    /// Modified Davies-Bouldin DB* (minimum is best).
+    pub davies_bouldin_star: f64,
+    /// Dunn (maximum is best).
+    pub dunn: f64,
+    /// Silhouette (maximum is best).
+    pub silhouette: f64,
+}
+
+/// One row of Figure 5: the quality indices at a given `k`.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of clusters.
+    pub k: usize,
+    /// Index values.
+    pub scores: IndexScores,
+    /// The clustering itself (for inspection of the grouping).
+    pub clustering: Clustering,
+}
+
+/// The full sweep for one direction.
+#[derive(Debug, Clone)]
+pub struct ClusteringSweep {
+    /// Traffic direction clustered.
+    pub direction: Direction,
+    /// Algorithm used.
+    pub algorithm: Algorithm,
+    /// One point per `k` in `2..=n-1`.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ClusteringSweep {
+    /// `k` minimizing Davies-Bouldin.
+    pub fn best_k_by_db(&self) -> usize {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                a.scores
+                    .davies_bouldin
+                    .partial_cmp(&b.scores.davies_bouldin)
+                    .unwrap()
+            })
+            .map(|p| p.k)
+            .unwrap_or(0)
+    }
+
+    /// `k` maximizing Silhouette.
+    pub fn best_k_by_silhouette(&self) -> usize {
+        self.points
+            .iter()
+            .max_by(|a, b| a.scores.silhouette.partial_cmp(&b.scores.silhouette).unwrap())
+            .map(|p| p.k)
+            .unwrap_or(0)
+    }
+
+    /// The paper's diagnosis: quality degrades as `k` grows — measured as
+    /// the Spearman-like sign of the silhouette trend (fraction of
+    /// adjacent `k` pairs where silhouette decreases).
+    pub fn silhouette_decreasing_fraction(&self) -> f64 {
+        let pairs = self.points.windows(2).count();
+        if pairs == 0 {
+            return 0.0;
+        }
+        let dec = self
+            .points
+            .windows(2)
+            .filter(|w| w[1].scores.silhouette <= w[0].scores.silhouette)
+            .count();
+        dec as f64 / pairs as f64
+    }
+}
+
+/// Runs the Figure 5 sweep on the national weekly series of all head
+/// services.
+///
+/// `restarts` k-shape initializations are tried per `k`, keeping the run
+/// with the best (lowest) within-cluster SBD inertia — mirroring the
+/// paper's exhaustive search.
+pub fn clustering_sweep(
+    study: &Study,
+    dir: Direction,
+    algorithm: Algorithm,
+    restarts: u64,
+) -> ClusteringSweep {
+    let series: Vec<Vec<f64>> = (0..study.catalog().head().len())
+        .map(|s| study.dataset().national_series(dir, s).to_vec())
+        .collect();
+    sweep_series(&series, dir, algorithm, restarts)
+}
+
+/// The sweep over explicit series (also used by ablations and tests).
+pub fn sweep_series(
+    series: &[Vec<f64>],
+    dir: Direction,
+    algorithm: Algorithm,
+    restarts: u64,
+) -> ClusteringSweep {
+    assert!(series.len() >= 3, "need at least 3 series to sweep k in 2..n");
+    let z: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
+    let sbd = |a: &[f64], b: &[f64]| shape_based_distance(a, b);
+    let euclid = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let mut points = Vec::new();
+    for k in 2..series.len() {
+        let mut best: Option<(f64, Clustering)> = None;
+        for restart in 0..restarts.max(1) {
+            let clustering = match algorithm {
+                Algorithm::KShape => kshape(&z, k, restart),
+                Algorithm::KMeans => kmeans(&z, k, restart),
+            };
+            let inertia: f64 = z
+                .iter()
+                .zip(clustering.assignments.iter())
+                .map(|(s, &a)| match algorithm {
+                    Algorithm::KShape => sbd(s, &clustering.centroids[a]),
+                    Algorithm::KMeans => euclid(s, &clustering.centroids[a]),
+                })
+                .sum();
+            match &best {
+                Some((b, _)) if *b <= inertia => {}
+                _ => best = Some((inertia, clustering)),
+            }
+        }
+        let clustering = best.expect("at least one restart ran").1;
+        let scores = match algorithm {
+            Algorithm::KShape => IndexScores {
+                davies_bouldin: davies_bouldin(&z, &clustering, sbd),
+                davies_bouldin_star: davies_bouldin_star(&z, &clustering, sbd),
+                dunn: dunn(&z, &clustering, sbd),
+                silhouette: silhouette(&z, &clustering, sbd),
+            },
+            Algorithm::KMeans => IndexScores {
+                davies_bouldin: davies_bouldin(&z, &clustering, euclid),
+                davies_bouldin_star: davies_bouldin_star(&z, &clustering, euclid),
+                dunn: dunn(&z, &clustering, euclid),
+                silhouette: silhouette(&z, &clustering, euclid),
+            },
+        };
+        points.push(SweepPoint { k, scores, clustering });
+    }
+    ClusteringSweep { direction: dir, algorithm, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    #[test]
+    fn sweep_covers_k_2_to_n_minus_1() {
+        let study = crate::testutil::measured_study();
+        let sweep = clustering_sweep(study, Direction::Down, Algorithm::KShape, 2);
+        let ks: Vec<usize> = sweep.points.iter().map(|p| p.k).collect();
+        assert_eq!(ks, (2..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_finding_no_convincing_small_k() {
+        // The study's service profiles are all distinct by construction;
+        // the sweep should behave as in the paper: silhouette stays low
+        // (weak structure) and mostly degrades with k.
+        let study = crate::testutil::measured_study();
+        let sweep = clustering_sweep(study, Direction::Down, Algorithm::KShape, 3);
+        let max_sil = sweep
+            .points
+            .iter()
+            .map(|p| p.scores.silhouette)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_sil < 0.6,
+            "silhouette {max_sil} suggests clean clusters — services should not group cleanly"
+        );
+    }
+
+    #[test]
+    fn synthetic_clusterable_data_is_recognized() {
+        // Control: data that *does* cluster produces a clear silhouette
+        // optimum at the true k, confirming the sweep can detect structure
+        // when it exists.
+        let mut series = Vec::new();
+        for class in 0..3 {
+            for i in 0..5 {
+                let eps = i as f64 * 0.02;
+                series.push(
+                    (0..64)
+                        .map(|t| {
+                            let x = t as f64;
+                            match class {
+                                0 => (x * 0.2).sin() + eps,
+                                1 => (x * 0.2).cos().powi(3) + eps,
+                                _ => ((x - 30.0) / 8.0).tanh() + eps,
+                            }
+                        })
+                        .collect::<Vec<f64>>(),
+                );
+            }
+        }
+        let sweep = sweep_series(&series, Direction::Down, Algorithm::KShape, 4);
+        let best = sweep
+            .points
+            .iter()
+            .max_by(|a, b| a.scores.silhouette.partial_cmp(&b.scores.silhouette).unwrap())
+            .unwrap();
+        assert_eq!(best.k, 3, "true k not found (silhouettes: {:?})",
+            sweep.points.iter().map(|p| (p.k, p.scores.silhouette)).collect::<Vec<_>>());
+        assert!(best.scores.silhouette > 0.6);
+    }
+
+    #[test]
+    fn kmeans_sweep_also_runs() {
+        let study = crate::testutil::measured_study();
+        let sweep = clustering_sweep(study, Direction::Up, Algorithm::KMeans, 2);
+        assert_eq!(sweep.algorithm, Algorithm::KMeans);
+        assert_eq!(sweep.points.len(), 18);
+        for p in &sweep.points {
+            assert!(p.scores.davies_bouldin.is_finite() || p.k > 15);
+        }
+    }
+
+    #[test]
+    fn accessors_report_consistent_ks() {
+        let study = crate::testutil::measured_study();
+        let sweep = clustering_sweep(study, Direction::Down, Algorithm::KShape, 2);
+        let db_k = sweep.best_k_by_db();
+        let sil_k = sweep.best_k_by_silhouette();
+        assert!((2..20).contains(&db_k));
+        assert!((2..20).contains(&sil_k));
+        let frac = sweep.silhouette_decreasing_fraction();
+        assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 series")]
+    fn tiny_inputs_are_rejected() {
+        sweep_series(&[vec![1.0, 2.0], vec![2.0, 1.0]], Direction::Down, Algorithm::KShape, 1);
+    }
+}

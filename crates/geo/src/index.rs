@@ -1,0 +1,216 @@
+//! A uniform-grid spatial index over commune centroids.
+//!
+//! The collection pipeline (`mobilenet-netsim`) must map noisy ULI fixes to
+//! the commune whose base station served them; with 36,000 communes a linear
+//! scan per fix would dominate generation time, so lookups go through a
+//! bucket grid.
+
+use crate::point::Point;
+
+/// A uniform grid index mapping points to the nearest of a fixed set of
+/// sites (commune centroids).
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    sites: Vec<Point>,
+    cell_km: f64,
+    nx: usize,
+    ny: usize,
+    min_x: f64,
+    min_y: f64,
+    buckets: Vec<Vec<u32>>,
+}
+
+impl SpatialIndex {
+    /// Builds an index over `sites` with roughly one site per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn build(sites: &[Point]) -> Self {
+        assert!(!sites.is_empty(), "cannot index zero sites");
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in sites {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        // Aim for ~1 site per cell.
+        let target_cells = sites.len() as f64;
+        let cell_km = ((span_x * span_y) / target_cells).sqrt().max(1e-6);
+        let nx = (span_x / cell_km).ceil() as usize + 1;
+        let ny = (span_y / cell_km).ceil() as usize + 1;
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for (i, p) in sites.iter().enumerate() {
+            let cx = (((p.x - min_x) / cell_km) as usize).min(nx - 1);
+            let cy = (((p.y - min_y) / cell_km) as usize).min(ny - 1);
+            buckets[cy * nx + cx].push(i as u32);
+        }
+        SpatialIndex { sites: sites.to_vec(), cell_km, nx, ny, min_x, min_y, buckets }
+    }
+
+    /// Number of indexed sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when the index holds no sites (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x - self.min_x) / self.cell_km).floor();
+        let cy = ((p.y - self.min_y) / self.cell_km).floor();
+        (
+            (cx.max(0.0) as usize).min(self.nx - 1),
+            (cy.max(0.0) as usize).min(self.ny - 1),
+        )
+    }
+
+    /// Index of the site nearest to `p` (ties broken by lowest index).
+    pub fn nearest(&self, p: &Point) -> usize {
+        let (cx, cy) = self.cell_of(p);
+        let mut best: Option<(f64, u32)> = None;
+        // Expand rings of cells until a hit is found and the ring distance
+        // exceeds the best hit (grid cells are cell_km wide, so any site in
+        // a farther ring is at least (ring-1)*cell_km away).
+        let max_ring = self.nx.max(self.ny);
+        for ring in 0..=max_ring {
+            if let Some((d, _)) = best {
+                if (ring as f64 - 1.0) * self.cell_km > d.sqrt() {
+                    break;
+                }
+            }
+            let x_lo = cx.saturating_sub(ring);
+            let x_hi = (cx + ring).min(self.nx - 1);
+            let y_lo = cy.saturating_sub(ring);
+            let y_hi = (cy + ring).min(self.ny - 1);
+            for y in y_lo..=y_hi {
+                for x in x_lo..=x_hi {
+                    // Only the ring boundary is new.
+                    let on_boundary = ring == 0
+                        || x == x_lo && cx >= ring
+                        || x == x_hi && x == cx + ring
+                        || y == y_lo && cy >= ring
+                        || y == y_hi && y == cy + ring;
+                    if !on_boundary {
+                        continue;
+                    }
+                    for &i in &self.buckets[y * self.nx + x] {
+                        let d = self.sites[i as usize].distance_sq(p);
+                        match best {
+                            Some((bd, bi)) if d > bd || (d == bd && i >= bi) => {}
+                            _ => best = Some((d, i)),
+                        }
+                    }
+                }
+            }
+        }
+        best.expect("non-empty index always finds a site").1 as usize
+    }
+
+    /// Indices of all sites within `radius_km` of `p`.
+    pub fn within(&self, p: &Point, radius_km: f64) -> Vec<usize> {
+        let r2 = radius_km * radius_km;
+        let (cx, cy) = self.cell_of(p);
+        let ring = (radius_km / self.cell_km).ceil() as usize + 1;
+        let x_lo = cx.saturating_sub(ring);
+        let x_hi = (cx + ring).min(self.nx - 1);
+        let y_lo = cy.saturating_sub(ring);
+        let y_hi = (cy + ring).min(self.ny - 1);
+        let mut out = Vec::new();
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                for &i in &self.buckets[y * self.nx + x] {
+                    if self.sites[i as usize].distance_sq(p) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize, step: f64) -> Vec<Point> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Point::new((i % side) as f64 * step, (i / side) as f64 * step))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let sites = lattice(400, 3.7);
+        let idx = SpatialIndex::build(&sites);
+        let probes = [
+            Point::new(0.0, 0.0),
+            Point::new(10.1, 22.9),
+            Point::new(-5.0, -5.0),
+            Point::new(100.0, 100.0),
+            Point::new(37.0, 0.5),
+        ];
+        for p in &probes {
+            let got = idx.nearest(p);
+            let want = sites
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.distance_sq(p).partial_cmp(&b.1.distance_sq(p)).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(
+                sites[got].distance_sq(p),
+                sites[want].distance_sq(p),
+                "probe {p:?}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_returns_exactly_the_ball() {
+        let sites = lattice(100, 2.0);
+        let idx = SpatialIndex::build(&sites);
+        let p = Point::new(9.0, 9.0);
+        let r = 4.5;
+        let got = idx.within(&p, r);
+        let want: Vec<usize> = sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.distance(&p) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn single_site_is_always_nearest() {
+        let idx = SpatialIndex::build(&[Point::new(5.0, 5.0)]);
+        assert_eq!(idx.nearest(&Point::new(-100.0, 40.0)), 0);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn within_zero_radius_hits_exact_site_only() {
+        let sites = lattice(16, 1.0);
+        let idx = SpatialIndex::build(&sites);
+        let hits = idx.within(&sites[5], 0.0);
+        assert_eq!(hits, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sites")]
+    fn empty_index_is_rejected() {
+        SpatialIndex::build(&[]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulated 3G/4G packet-core measurement pipeline.
+//!
+//! §2 of the paper describes the measurement apparatus: passive probes at
+//! the **Gn** (3G, GGSN) and **S5/S8** (4G, P-GW) interfaces inspect the
+//! GTP user plane and extract per-session transport/application
+//! information; the operator's proprietary DPI stage classifies **88%** of
+//! the traffic; geo-referencing reads the **ULI** (User Location
+//! Information) carried in PDP Contexts / EPS Bearers on the GTP control
+//! plane, whose coarse updates yield a **median localization error around
+//! 3 km** — the reason all analysis happens at commune granularity.
+//!
+//! This crate rebuilds that apparatus over synthetic sessions:
+//!
+//! * [`radio`] — base stations deployed per commune and grouped into
+//!   routing/tracking areas; the station ↔ commune mapping the paper uses
+//!   for aggregation.
+//! * [`uli`] — the localization model: reported positions scatter around
+//!   true positions with a configurable median error, plus occasional
+//!   stale-ULI outliers at routing-area scale.
+//! * [`classifier`] — a fingerprint-table DPI stage: sessions carry a wire
+//!   signature derived from their true service; the classifier inverts it,
+//!   missing a configurable fraction of the volume.
+//! * [`probe`] — the Gn / S5-S8 probes turning a
+//!   [`Session`](mobilenet_traffic::Session) into a [`SessionRecord`]
+//!   as the operator would see it.
+//! * [`pipeline`] — end-to-end collection: demand model → sessions →
+//!   probes → aggregation into a
+//!   [`TrafficDataset`](mobilenet_traffic::TrafficDataset), with
+//!   collection statistics (classification rate, localization error,
+//!   commune misassignment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod config;
+pub mod pipeline;
+pub mod probe;
+pub mod radio;
+pub mod records;
+pub mod trace;
+pub mod uli;
+
+pub use classifier::DpiClassifier;
+pub use config::NetsimConfig;
+pub use pipeline::{collect, CollectionOutput, CollectionStats};
+pub use probe::Probe;
+pub use radio::RadioNetwork;
+pub use trace::{observe_sessions, replay, trace_from_csv, trace_to_csv};
+pub use records::{Interface, SessionRecord};
+pub use uli::UliModel;

@@ -1,0 +1,289 @@
+//! End-to-end collection: demand model → sessions → probes → dataset.
+//!
+//! [`collect`] runs the full measurement chain the paper describes in §2
+//! and produces the commune-aggregated [`TrafficDataset`] every analysis
+//! consumes, together with [`CollectionStats`] quantifying the artefacts
+//! the apparatus introduces (classification loss, localization error,
+//! commune misassignment).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset};
+
+use crate::classifier::{DpiClassifier, ServiceLabel};
+use crate::config::NetsimConfig;
+use crate::probe::Probe;
+use crate::radio::RadioNetwork;
+use crate::records::Interface;
+use crate::uli::UliModel;
+
+/// Diagnostics of one collection run.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionStats {
+    /// Total sessions observed.
+    pub sessions: u64,
+    /// Records captured on the Gn (3G) interface.
+    pub gn_records: u64,
+    /// Records captured on the S5/S8 (4G) interface.
+    pub s5s8_records: u64,
+    /// Volume the DPI stage classified, MB (both directions).
+    pub classified_mb: f64,
+    /// Volume the DPI stage could not classify, MB.
+    pub unclassified_mb: f64,
+    /// Sessions whose recorded commune differs from the true one.
+    pub misassigned_sessions: u64,
+    /// Sessions with a stale ULI fix.
+    pub stale_fixes: u64,
+    /// Sampled localization errors, km (every 16th session).
+    pub sampled_errors_km: Vec<f64>,
+}
+
+impl CollectionStats {
+    /// Fraction of the volume the classifier attributed to a service.
+    pub fn classification_rate(&self) -> f64 {
+        let total = self.classified_mb + self.unclassified_mb;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.classified_mb / total
+    }
+
+    /// Fraction of sessions aggregated into the wrong commune.
+    pub fn misassignment_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        self.misassigned_sessions as f64 / self.sessions as f64
+    }
+
+    /// Median of the sampled localization errors, km.
+    pub fn median_error_km(&self) -> f64 {
+        if self.sampled_errors_km.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.sampled_errors_km.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+/// The result of a collection run.
+pub struct CollectionOutput {
+    /// The commune-aggregated dataset (the analyses' input).
+    pub dataset: TrafficDataset,
+    /// Collection diagnostics.
+    pub stats: CollectionStats,
+}
+
+/// Runs the full measurement pipeline over one week of synthetic demand.
+///
+/// `seed` drives session sampling, localization noise and classification
+/// loss; runs are fully deterministic in `(model, config, seed)`.
+pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
+    config.validate().expect("invalid NetsimConfig");
+    let country = model.country();
+    let catalog = model.catalog();
+    let radio = RadioNetwork::deploy(country, config, seed ^ 0x7261_6469_6f00_0001);
+    let classifier = DpiClassifier::new(
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().classified_fraction,
+    );
+    // Train passengers' ULI displaces along the rail; everyone else
+    // scatters isotropically.
+    let directions: Vec<Option<(f64, f64)>> = country
+        .communes()
+        .iter()
+        .map(|c| {
+            if c.usage_class() == mobilenet_geo::UsageClass::Tgv {
+                mobilenet_geo::rail::nearest_line_direction(country.tgv_lines(), &c.centroid)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let probe = Probe::new(&radio, UliModel::new(config), &classifier)
+        .with_movement_directions(directions);
+
+    let mut dataset = TrafficDataset::new(
+        country,
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().subscriber_share,
+    );
+    let mut stats = CollectionStats::default();
+    let mut probe_rng = StdRng::seed_from_u64(seed ^ 0x7072_6f62_6572_6e67); // "proberng"
+
+    let mut generator = SessionGenerator::new(model, seed);
+    generator.generate(|session| {
+        let record = probe.observe(session, &mut probe_rng);
+        stats.sessions += 1;
+        match record.interface {
+            Interface::Gn => stats.gn_records += 1,
+            Interface::S5S8 => stats.s5s8_records += 1,
+        }
+        if record.stale_uli {
+            stats.stale_fixes += 1;
+        }
+        if record.commune != session.commune {
+            stats.misassigned_sessions += 1;
+        }
+        if stats.sessions % 16 == 0 {
+            // Localization error: distance between the true position and
+            // the centroid of the commune the record was binned into is a
+            // commune-level proxy; sample the fix-level error instead via
+            // the true/recorded commune centroids' scale. We keep the
+            // direct definition: distance from the true position to the
+            // recorded commune's centroid.
+            let recorded = country.commune(record.commune);
+            stats
+                .sampled_errors_km
+                .push(session.position.distance(&recorded.centroid));
+        }
+        match classifier.classify(record.signature) {
+            ServiceLabel::Head(s) => {
+                stats.classified_mb += record.dl_mb + record.ul_mb;
+                dataset.add(
+                    Direction::Down,
+                    s as usize,
+                    record.commune,
+                    record.start_hour as usize,
+                    record.dl_mb,
+                );
+                dataset.add(
+                    Direction::Up,
+                    s as usize,
+                    record.commune,
+                    record.start_hour as usize,
+                    record.ul_mb,
+                );
+            }
+            ServiceLabel::Tail(t) => {
+                // Tail sessions are not generated by the session sampler;
+                // reaching this arm would indicate a fingerprint collision.
+                stats.classified_mb += record.dl_mb + record.ul_mb;
+                dataset.add_tail(Direction::Down, t as usize, record.dl_mb);
+                dataset.add_tail(Direction::Up, t as usize, record.ul_mb);
+            }
+            ServiceLabel::Unclassified => {
+                stats.unclassified_mb += record.dl_mb + record.ul_mb;
+                dataset.add_unclassified(Direction::Down, record.dl_mb);
+                dataset.add_unclassified(Direction::Up, record.ul_mb);
+            }
+        }
+    });
+
+    // Tail services: their national weekly totals come straight from the
+    // demand model (they carry no spatial structure the analyses use).
+    model.fill_tail(&mut dataset);
+
+    CollectionOutput { dataset, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobilenet_geo::{Country, CountryConfig};
+    use mobilenet_traffic::{ServiceCatalog, TrafficConfig};
+    use std::sync::Arc;
+
+    fn model() -> DemandModel {
+        let country = Arc::new(Country::generate(&CountryConfig::small(), 3));
+        let catalog = Arc::new(ServiceCatalog::standard(30));
+        DemandModel::new(country, catalog, TrafficConfig::fast(), 11)
+    }
+
+    #[test]
+    fn classification_rate_matches_configuration() {
+        let m = model();
+        let out = collect(&m, &NetsimConfig::standard(), 5);
+        let rate = out.stats.classification_rate();
+        assert!((rate - 0.88).abs() < 0.02, "classification rate {rate}");
+        assert!(out.stats.sessions > 1000);
+        assert!(out.dataset.unclassified(Direction::Down) > 0.0);
+    }
+
+    #[test]
+    fn median_localization_error_is_near_target() {
+        let m = model();
+        let out = collect(&m, &NetsimConfig::standard(), 5);
+        let median = out.stats.median_error_km();
+        // Binning to communes adds the commune radius (~2.9 km for the
+        // small config) on top of the 3 km ULI error.
+        assert!(median > 1.0 && median < 9.0, "median error {median} km");
+    }
+
+    #[test]
+    fn ideal_pipeline_recovers_expected_totals() {
+        let m = model();
+        let mut cfg = NetsimConfig::ideal();
+        cfg.stations_per_10k_pop = 5.0;
+        let out = collect(&m, &cfg, 6);
+        let expected = m.expected_dataset();
+        // National weekly totals converge (classification is still lossy:
+        // fast config keeps 88%).
+        let rate = m.config().classified_fraction;
+        for s in 0..3 {
+            let want = expected.national_weekly(Direction::Down, s) * rate;
+            let got = out.dataset.national_weekly(Direction::Down, s);
+            let err = (got - want).abs() / want;
+            assert!(err < 0.15, "service {s}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn both_interfaces_are_exercised() {
+        let m = model();
+        let out = collect(&m, &NetsimConfig::standard(), 7);
+        assert!(out.stats.gn_records > 0, "no 3G records");
+        assert!(out.stats.s5s8_records > 0, "no 4G records");
+        assert!(out.stats.stale_fixes > 0, "no stale ULI fixes at 12% probability");
+    }
+
+    #[test]
+    fn localization_noise_causes_misassignment_but_ideal_does_not() {
+        let m = model();
+        let noisy = collect(&m, &NetsimConfig::standard(), 8);
+        assert!(
+            noisy.stats.misassignment_rate() > 0.1,
+            "3 km noise on ~5 km communes must misassign: {}",
+            noisy.stats.misassignment_rate()
+        );
+        // Perfect ULI still misassigns some sessions: base-station Voronoi
+        // cells do not coincide with commune boundaries (true of the real
+        // network as well), so only the *additional* noise-driven
+        // misassignment should disappear.
+        let ideal = collect(&m, &NetsimConfig::ideal(), 8);
+        assert!(
+            ideal.stats.misassignment_rate() < noisy.stats.misassignment_rate() * 0.75,
+            "ideal {} vs noisy {}",
+            ideal.stats.misassignment_rate(),
+            noisy.stats.misassignment_rate()
+        );
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let m = model();
+        let a = collect(&m, &NetsimConfig::standard(), 9);
+        let b = collect(&m, &NetsimConfig::standard(), 9);
+        assert_eq!(a.stats.sessions, b.stats.sessions);
+        assert_eq!(a.stats.misassigned_sessions, b.stats.misassigned_sessions);
+        assert_eq!(
+            a.dataset.national_weekly(Direction::Down, 0),
+            b.dataset.national_weekly(Direction::Down, 0)
+        );
+    }
+
+    #[test]
+    fn tail_ranking_is_filled() {
+        let m = model();
+        let out = collect(&m, &NetsimConfig::standard(), 10);
+        let tail = out.dataset.tail_weekly(Direction::Down);
+        assert_eq!(tail.len(), 30);
+        assert!(tail.iter().all(|v| *v > 0.0));
+        let ranking = out.dataset.full_ranking(Direction::Down);
+        assert_eq!(ranking.len(), 50);
+    }
+}

@@ -1,0 +1,68 @@
+//! What the probes emit: operator-side session records.
+
+use mobilenet_geo::CommuneId;
+
+/// The probed core-network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interface {
+    /// Gn — between SGSN and GGSN (3G packet-switched core).
+    Gn,
+    /// S5/S8 — between S-GW and P-GW (4G evolved packet core).
+    S5S8,
+}
+
+impl Interface {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interface::Gn => "Gn",
+            Interface::S5S8 => "S5/S8",
+        }
+    }
+}
+
+/// A wire-level flow signature, the classifier's input. Synthetic stand-in
+/// for the transport/application-layer features a real DPI engine sees
+/// (SNI, ports, payload patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowSignature(pub u64);
+
+/// One session as recorded by a probe: volumes, timing, interface, the
+/// commune derived from the ULI fix, and the flow signature awaiting
+/// classification. The true service/commune are **not** part of the
+/// record — the pipeline must recover them, as the real apparatus does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// Interface the record was captured on.
+    pub interface: Interface,
+    /// Hour-of-week of session establishment.
+    pub start_hour: u16,
+    /// Downlink volume, MB.
+    pub dl_mb: f64,
+    /// Uplink volume, MB.
+    pub ul_mb: f64,
+    /// Commune of the serving base station, per the ULI chain.
+    pub commune: CommuneId,
+    /// Flow signature for the DPI stage.
+    pub signature: FlowSignature,
+    /// Whether the ULI fix was stale (diagnostic, not available to the
+    /// real operator; used only by collection statistics).
+    pub stale_uli: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_labels() {
+        assert_eq!(Interface::Gn.label(), "Gn");
+        assert_eq!(Interface::S5S8.label(), "S5/S8");
+    }
+
+    #[test]
+    fn signatures_are_comparable() {
+        assert_eq!(FlowSignature(5), FlowSignature(5));
+        assert_ne!(FlowSignature(5), FlowSignature(6));
+    }
+}

@@ -1,0 +1,262 @@
+//! Probe-trace persistence and replay.
+//!
+//! The real apparatus separates *capture* (probes writing session records)
+//! from *analysis* (batch aggregation of those records). This module
+//! provides the same separation for the simulator: session records can be
+//! streamed to a CSV trace, re-read later, and replayed through the DPI
+//! stage into a [`TrafficDataset`] — so a captured trace can be
+//! re-aggregated under different classifier tables without re-simulating
+//! the radio layer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mobilenet_geo::CommuneId;
+use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset};
+
+use crate::classifier::{DpiClassifier, ServiceLabel};
+use crate::config::NetsimConfig;
+use crate::probe::Probe;
+use crate::radio::RadioNetwork;
+use crate::records::{FlowSignature, Interface, SessionRecord};
+use crate::uli::UliModel;
+
+/// CSV header of a trace file.
+pub const TRACE_HEADER: &str = "#mobilenet-trace v1";
+
+/// Runs the capture side only: sessions → probes → `sink`, one record per
+/// session, without aggregation. Deterministic in `(model, config, seed)`
+/// and produces exactly the records [`crate::pipeline::collect`] would
+/// aggregate.
+pub fn observe_sessions(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    seed: u64,
+    mut sink: impl FnMut(&SessionRecord),
+) -> u64 {
+    config.validate().expect("invalid NetsimConfig");
+    let country = model.country();
+    let radio = RadioNetwork::deploy(country, config, seed ^ 0x7261_6469_6f00_0001);
+    let classifier = DpiClassifier::new(
+        model.catalog().head().len(),
+        model.catalog().tail_len(),
+        model.config().classified_fraction,
+    );
+    let directions: Vec<Option<(f64, f64)>> = country
+        .communes()
+        .iter()
+        .map(|c| {
+            if c.usage_class() == mobilenet_geo::UsageClass::Tgv {
+                mobilenet_geo::rail::nearest_line_direction(country.tgv_lines(), &c.centroid)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let probe = Probe::new(&radio, UliModel::new(config), &classifier)
+        .with_movement_directions(directions);
+    let mut probe_rng = StdRng::seed_from_u64(seed ^ 0x7072_6f62_6572_6e67);
+    let mut generator = SessionGenerator::new(model, seed);
+    generator.generate(|session| {
+        let record = probe.observe(session, &mut probe_rng);
+        sink(&record);
+    })
+}
+
+/// Serializes one record as a CSV line (no trailing newline).
+pub fn record_to_line(r: &SessionRecord) -> String {
+    format!(
+        "{},{},{:e},{:e},{},{:#x},{}",
+        match r.interface {
+            Interface::Gn => "gn",
+            Interface::S5S8 => "s5s8",
+        },
+        r.start_hour,
+        r.dl_mb,
+        r.ul_mb,
+        r.commune.0,
+        r.signature.0,
+        if r.stale_uli { 1 } else { 0 }
+    )
+}
+
+/// Parses a line written by [`record_to_line`].
+pub fn record_from_line(line: &str) -> Result<SessionRecord, String> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return Err(format!("expected 7 fields, got {}", fields.len()));
+    }
+    let interface = match fields[0] {
+        "gn" => Interface::Gn,
+        "s5s8" => Interface::S5S8,
+        other => return Err(format!("unknown interface {other:?}")),
+    };
+    let start_hour: u16 = fields[1].parse().map_err(|e| format!("bad hour: {e}"))?;
+    let dl_mb: f64 = fields[2].parse().map_err(|e| format!("bad dl: {e}"))?;
+    let ul_mb: f64 = fields[3].parse().map_err(|e| format!("bad ul: {e}"))?;
+    let commune: u32 = fields[4].parse().map_err(|e| format!("bad commune: {e}"))?;
+    let sig = fields[5]
+        .strip_prefix("0x")
+        .ok_or("signature must be hex")?;
+    let signature = u64::from_str_radix(sig, 16).map_err(|e| format!("bad signature: {e}"))?;
+    let stale_uli = match fields[6] {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad stale flag {other:?}")),
+    };
+    Ok(SessionRecord {
+        interface,
+        start_hour,
+        dl_mb,
+        ul_mb,
+        commune: CommuneId(commune),
+        signature: FlowSignature(signature),
+        stale_uli,
+    })
+}
+
+/// Serializes a whole trace (header + one line per record).
+pub fn trace_to_csv<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) -> String {
+    let mut out = String::from(TRACE_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&record_to_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace written by [`trace_to_csv`].
+pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(TRACE_HEADER) => {}
+        _ => return Err("missing/unsupported trace header".into()),
+    }
+    lines.map(record_from_line).collect()
+}
+
+/// Replays records through a classifier into a dataset shaped like
+/// `model`'s country. The tail table is filled from the demand model
+/// afterwards, exactly as [`crate::pipeline::collect`] does.
+pub fn replay<'a>(
+    records: impl IntoIterator<Item = &'a SessionRecord>,
+    model: &DemandModel,
+) -> TrafficDataset {
+    let catalog = model.catalog();
+    let classifier = DpiClassifier::new(
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().classified_fraction,
+    );
+    let mut ds = TrafficDataset::new(
+        model.country(),
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().subscriber_share,
+    );
+    for r in records {
+        match classifier.classify(r.signature) {
+            ServiceLabel::Head(s) => {
+                ds.add(Direction::Down, s as usize, r.commune, r.start_hour as usize, r.dl_mb);
+                ds.add(Direction::Up, s as usize, r.commune, r.start_hour as usize, r.ul_mb);
+            }
+            ServiceLabel::Tail(t) => {
+                ds.add_tail(Direction::Down, t as usize, r.dl_mb);
+                ds.add_tail(Direction::Up, t as usize, r.ul_mb);
+            }
+            ServiceLabel::Unclassified => {
+                ds.add_unclassified(Direction::Down, r.dl_mb);
+                ds.add_unclassified(Direction::Up, r.ul_mb);
+            }
+        }
+    }
+    model.fill_tail(&mut ds);
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::collect;
+    use mobilenet_geo::{Country, CountryConfig};
+    use mobilenet_traffic::{ServiceCatalog, TrafficConfig};
+    use std::sync::Arc;
+
+    fn model() -> DemandModel {
+        let country = Arc::new(Country::generate(&CountryConfig::small(), 3));
+        let catalog = Arc::new(ServiceCatalog::standard(20));
+        DemandModel::new(country, catalog, TrafficConfig::fast(), 11)
+    }
+
+    #[test]
+    fn record_line_round_trips() {
+        let r = SessionRecord {
+            interface: Interface::S5S8,
+            start_hour: 167,
+            dl_mb: 12.345678901234,
+            ul_mb: 0.00042,
+            commune: CommuneId(999),
+            signature: FlowSignature(0xDEAD_BEEF_CAFE_F00D),
+            stale_uli: true,
+        };
+        let line = record_to_line(&r);
+        let back = record_from_line(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(record_from_line("").is_err());
+        assert!(record_from_line("gn,1,2").is_err());
+        assert!(record_from_line("bogus,1,1.0,1.0,5,0xff,0").is_err());
+        assert!(record_from_line("gn,1,1.0,1.0,5,ff,0").is_err()); // missing 0x
+        assert!(record_from_line("gn,1,1.0,1.0,5,0xff,2").is_err());
+        assert!(trace_from_csv("no header\n").is_err());
+    }
+
+    #[test]
+    fn captured_trace_replays_to_the_same_dataset() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        // Path A: the normal pipeline.
+        let direct = collect(&m, &cfg, 7).dataset;
+
+        // Path B: capture → CSV → parse → replay.
+        let mut records = Vec::new();
+        observe_sessions(&m, &cfg, 7, |r| records.push(r.clone()));
+        let csv = trace_to_csv(&records);
+        let parsed = trace_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        let replayed = replay(&parsed, &m);
+
+        for dir in Direction::BOTH {
+            for s in (0..20).step_by(5) {
+                let a = direct.national_series(dir, s);
+                let b = replayed.national_series(dir, s);
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "{} service {s}: {x} vs {y}",
+                        dir.label()
+                    );
+                }
+            }
+            assert!((direct.unclassified(dir) - replayed.unclassified(dir)).abs() < 1e-9);
+            assert_eq!(direct.tail_weekly(dir), replayed.tail_weekly(dir));
+        }
+    }
+
+    #[test]
+    fn observe_sessions_is_deterministic() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let mut a = Vec::new();
+        observe_sessions(&m, &cfg, 5, |r| a.push(r.clone()));
+        let mut b = Vec::new();
+        observe_sessions(&m, &cfg, 5, |r| b.push(r.clone()));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.first(), b.first());
+        assert_eq!(a.last(), b.last());
+    }
+}

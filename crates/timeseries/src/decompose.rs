@@ -1,0 +1,183 @@
+//! Classical seasonal decomposition of periodic series.
+//!
+//! The weekly service series of the paper are strongly periodic (diurnal ×
+//! weekday/weekend structure). Classical additive decomposition splits a
+//! series into **trend** (centred moving average over one period),
+//! **seasonal** (per-phase means of the detrended series, normalized to
+//! zero sum) and **remainder** — the standard first tool for inspecting
+//! and forecasting such series, and the backbone of the
+//! `mobilenet-core::forecast` extension.
+
+use crate::smoothing::moving_average;
+
+/// An additive decomposition `series = trend + seasonal + remainder`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Period used for the seasonal component.
+    pub period: usize,
+    /// Smooth trend (centred moving average, window = one period).
+    pub trend: Vec<f64>,
+    /// Seasonal component, repeating with `period` and summing to ≈ 0 over
+    /// one period.
+    pub seasonal: Vec<f64>,
+    /// What is left.
+    pub remainder: Vec<f64>,
+}
+
+impl Decomposition {
+    /// Reconstructs the original series (exact up to floating-point).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(self.seasonal.iter())
+            .zip(self.remainder.iter())
+            .map(|((t, s), r)| t + s + r)
+            .collect()
+    }
+
+    /// Fraction of the detrended variance explained by the seasonal
+    /// component — 1.0 means the series is perfectly periodic around its
+    /// trend.
+    pub fn seasonal_strength(&self) -> f64 {
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        let detrended: Vec<f64> = self
+            .seasonal
+            .iter()
+            .zip(self.remainder.iter())
+            .map(|(s, r)| s + r)
+            .collect();
+        let dv = var(&detrended);
+        if dv <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - var(&self.remainder) / dv).clamp(0.0, 1.0)
+    }
+}
+
+/// Decomposes `series` with the given seasonal `period`.
+///
+/// # Panics
+///
+/// Panics if `period < 2` or the series is shorter than two periods (one
+/// period of context is needed on each side of the centred average).
+pub fn decompose(series: &[f64], period: usize) -> Decomposition {
+    assert!(period >= 2, "period must be at least 2");
+    assert!(
+        series.len() >= 2 * period,
+        "need at least two periods of data ({} < {})",
+        series.len(),
+        2 * period
+    );
+
+    // Trend: centred moving average with half-window = period/2 (window
+    // shrinks at the boundaries; adequate for the analyses here).
+    let trend = moving_average(series, period / 2);
+
+    // Seasonal: mean detrended value per phase, re-centred to zero.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_count = vec![0usize; period];
+    for (i, (&x, &t)) in series.iter().zip(trend.iter()).enumerate() {
+        phase_sum[i % period] += x - t;
+        phase_count[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(phase_count.iter())
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let grand: f64 = phase_mean.iter().sum::<f64>() / period as f64;
+    for v in &mut phase_mean {
+        *v -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..series.len()).map(|i| phase_mean[i % period]).collect();
+    let remainder: Vec<f64> = series
+        .iter()
+        .zip(trend.iter())
+        .zip(seasonal.iter())
+        .map(|((x, t), s)| x - t - s)
+        .collect();
+
+    Decomposition { period, trend, seasonal, remainder }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                10.0 + ((i % period) as f64 / period as f64 * std::f64::consts::TAU).sin() * 3.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let s = periodic(96, 24);
+        let d = decompose(&s, 24);
+        for (a, b) in d.reconstruct().iter().zip(s.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_periodic_series_is_all_seasonal() {
+        let s = periodic(120, 24);
+        let d = decompose(&s, 24);
+        assert!(d.seasonal_strength() > 0.95, "strength {}", d.seasonal_strength());
+        // Seasonal sums to ~0 over a period.
+        let sum: f64 = d.seasonal[..24].iter().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_follows_a_linear_drift() {
+        let s: Vec<f64> = (0..120)
+            .map(|i| i as f64 * 0.5 + ((i % 24) as f64).sin())
+            .collect();
+        let d = decompose(&s, 24);
+        // Away from the boundaries the trend is close to the drift.
+        for i in 24..96 {
+            assert!((d.trend[i] - i as f64 * 0.5).abs() < 2.0, "i={i}: {}", d.trend[i]);
+        }
+    }
+
+    #[test]
+    fn white_noise_has_weak_seasonality() {
+        // Deterministic pseudo-noise.
+        let s: Vec<f64> = (0..240)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        let d = decompose(&s, 24);
+        assert!(d.seasonal_strength() < 0.5, "strength {}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn seasonal_repeats_with_period() {
+        let s = periodic(96, 12);
+        let d = decompose(&s, 12);
+        for i in 12..96 {
+            assert!((d.seasonal[i] - d.seasonal[i - 12]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two periods")]
+    fn short_series_is_rejected() {
+        decompose(&[1.0; 30], 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_period_is_rejected() {
+        decompose(&[1.0; 30], 1);
+    }
+}

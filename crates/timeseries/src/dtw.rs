@@ -1,0 +1,155 @@
+//! Dynamic time warping (DTW) distance.
+//!
+//! k-Shape's evaluation (Paparrizos & Gravano, SIGMOD 2015 — the paper's
+//! reference \[25\]) benchmarks shape-based distance against DTW, the
+//! classic elastic distance for time series. This implementation — full
+//! dynamic program with an optional Sakoe–Chiba band — lets the ablation
+//! harness re-run the clustering experiment under a third distance.
+
+/// DTW distance between `x` and `y` with a Sakoe–Chiba window of `band`
+/// samples (`None` = unconstrained). Uses squared point costs and returns
+/// the square root of the accumulated cost, so it reduces to the Euclidean
+/// distance when `band == Some(0)` and the series have equal length.
+///
+/// `O(n·m)` time, `O(m)` memory.
+///
+/// # Panics
+///
+/// Panics if either series is empty.
+pub fn dtw_distance(x: &[f64], y: &[f64], band: Option<usize>) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "DTW of empty series");
+    let n = x.len();
+    let m = y.len();
+    // With a band, the end point must be reachable.
+    let effective_band = band.map(|b| b.max(n.abs_diff(m)));
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let (j_lo, j_hi) = match effective_band {
+            Some(b) => {
+                // Centre the window on the diagonal scaled to the lengths.
+                let centre = i * m / n;
+                (centre.saturating_sub(b).max(1), (centre + b).min(m))
+            }
+            None => (1, m),
+        };
+        for j in j_lo..=j_hi {
+            let cost = (x[i - 1] - y[j - 1]) * (x[i - 1] - y[j - 1]);
+            let best = prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            if best.is_finite() {
+                curr[j] = cost + best;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// Pairwise DTW matrix of equal-role series (symmetric, zero diagonal).
+pub fn dtw_matrix(series: &[Vec<f64>], band: Option<usize>) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dtw_distance(&series[i], &series[j], band);
+            out[i][j] = d;
+            out[j][i] = d;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        assert!(dtw_distance(&x, &x, None) < 1e-12);
+        assert!(dtw_distance(&x, &x, Some(3)) < 1e-12);
+    }
+
+    #[test]
+    fn zero_band_equals_euclidean() {
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.7).cos()).collect();
+        let y: Vec<f64> = (0..24).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
+        let d = dtw_distance(&x, &y, Some(0));
+        assert!((d - euclid(&x, &y)).abs() < 1e-9, "{d} vs {}", euclid(&x, &y));
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean_for_equal_lengths() {
+        let x: Vec<f64> = (0..40).map(|i| ((i * 7) % 13) as f64).collect();
+        let y: Vec<f64> = (0..40).map(|i| ((i * 5) % 11) as f64).collect();
+        assert!(dtw_distance(&x, &y, None) <= euclid(&x, &y) + 1e-9);
+    }
+
+    #[test]
+    fn warping_absorbs_time_shifts() {
+        // A bump and its shifted copy: Euclidean sees a large distance,
+        // DTW warps it away almost entirely.
+        let bump = |c: f64| -> Vec<f64> {
+            (0..50)
+                .map(|i| (-(i as f64 - c) * (i as f64 - c) / 8.0).exp())
+                .collect()
+        };
+        let a = bump(20.0);
+        let b = bump(28.0);
+        let dtw = dtw_distance(&a, &b, None);
+        let euc = euclid(&a, &b);
+        assert!(dtw < 0.3 * euc, "dtw {dtw} vs euclidean {euc}");
+    }
+
+    #[test]
+    fn band_tightens_monotonically() {
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.5).sin()).collect();
+        let y: Vec<f64> = (0..30).map(|i| ((i as f64 + 4.0) * 0.5).sin()).collect();
+        let unconstrained = dtw_distance(&x, &y, None);
+        let wide = dtw_distance(&x, &y, Some(10));
+        let narrow = dtw_distance(&x, &y, Some(2));
+        let rigid = dtw_distance(&x, &y, Some(0));
+        assert!(unconstrained <= wide + 1e-9);
+        assert!(wide <= narrow + 1e-9);
+        assert!(narrow <= rigid + 1e-9);
+    }
+
+    #[test]
+    fn handles_unequal_lengths() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..35).map(|i| i as f64 * 20.0 / 35.0).collect();
+        let d = dtw_distance(&x, &y, None);
+        // Same monotone ramp at different sampling rates: small distance.
+        assert!(d < 8.0, "d = {d}");
+        // Symmetric.
+        assert!((d - dtw_distance(&y, &x, None)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let series: Vec<Vec<f64>> = (0..5)
+            .map(|s| (0..20).map(|i| ((i + 3 * s) as f64 * 0.3).sin()).collect())
+            .collect();
+        let m = dtw_matrix(&series, Some(5));
+        for i in 0..5 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..5 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_is_rejected() {
+        dtw_distance(&[], &[1.0], None);
+    }
+}

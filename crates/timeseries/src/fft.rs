@@ -1,0 +1,278 @@
+//! Iterative radix-2 fast Fourier transform and correlation helpers.
+//!
+//! The k-Shape distance used by the paper's clustering experiment (Figure 5)
+//! needs the full cross-correlation sequence of two series, which is
+//! computed in `O(n log n)` via the convolution theorem. The FFT here is a
+//! textbook iterative Cooley–Tukey implementation with bit-reversal
+//! permutation; it requires power-of-two lengths, and the public helpers
+//! take care of zero-padding.
+
+use crate::complex::Complex;
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time domain → frequency domain.
+    Forward,
+    /// Frequency domain → time domain (scaled by `1/n`).
+    Inverse,
+}
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two of
+/// `min_len.max(signal.len())`.
+pub fn fft_real(signal: &[f64], min_len: usize) -> Vec<Complex> {
+    let n = next_pow2(min_len.max(signal.len()));
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &x) in buf.iter_mut().zip(signal.iter()) {
+        *b = Complex::from_real(x);
+    }
+    fft_in_place(&mut buf, Direction::Forward);
+    buf
+}
+
+/// Full linear cross-correlation sequence of `x` and `y`.
+///
+/// Returns a vector `r` of length `x.len() + y.len() - 1` where
+/// `r[k]` is the correlation at lag `k - (y.len() - 1)`, i.e.
+///
+/// ```text
+/// r[k] = Σ_i x[i + lag] · y[i]       with lag = k - (y.len() - 1)
+/// ```
+///
+/// Lag 0 (the aligned dot product) sits at index `y.len() - 1`.
+/// Computed through the frequency domain: `r = IFFT(FFT(x) · conj(FFT(y)))`.
+pub fn cross_correlation(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty() && !y.is_empty(), "cross_correlation of empty input");
+    let out_len = x.len() + y.len() - 1;
+    let n = next_pow2(out_len);
+
+    let mut fx = vec![Complex::ZERO; n];
+    for (b, &v) in fx.iter_mut().zip(x.iter()) {
+        *b = Complex::from_real(v);
+    }
+    let mut fy = vec![Complex::ZERO; n];
+    for (b, &v) in fy.iter_mut().zip(y.iter()) {
+        *b = Complex::from_real(v);
+    }
+    fft_in_place(&mut fx, Direction::Forward);
+    fft_in_place(&mut fy, Direction::Forward);
+    for (a, b) in fx.iter_mut().zip(fy.iter()) {
+        *a = *a * b.conj();
+    }
+    fft_in_place(&mut fx, Direction::Inverse);
+
+    // The circular result places negative lags at the tail of the buffer:
+    // lag l >= 0 at index l, lag l < 0 at index n + l. Reorder so the output
+    // runs from lag -(y.len()-1) to lag x.len()-1.
+    let neg = y.len() - 1;
+    let mut out = Vec::with_capacity(out_len);
+    for k in 0..out_len {
+        let lag = k as isize - neg as isize;
+        let idx = if lag >= 0 { lag as usize } else { n - lag.unsigned_abs() };
+        out.push(fx[idx].re);
+    }
+    out
+}
+
+/// Direct `O(n·m)` cross-correlation with the same layout as
+/// [`cross_correlation`]. Used as a test oracle and for very short series
+/// where FFT setup cost dominates.
+pub fn cross_correlation_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty() && !y.is_empty(), "cross_correlation of empty input");
+    let neg = y.len() as isize - 1;
+    let out_len = x.len() + y.len() - 1;
+    let mut out = vec![0.0; out_len];
+    for (k, o) in out.iter_mut().enumerate() {
+        let lag = k as isize - neg;
+        let mut acc = 0.0;
+        for (i, &yv) in y.iter().enumerate() {
+            let xi = i as isize + lag;
+            if xi >= 0 && (xi as usize) < x.len() {
+                acc += x[xi as usize] * yv;
+            }
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data, Direction::Forward);
+        for z in &data {
+            assert_close(z.re, 1.0, 1e-12);
+            assert_close(z.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut data = vec![Complex::ONE; 16];
+        fft_in_place(&mut data, Direction::Forward);
+        assert_close(data[0].re, 16.0, 1e-12);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_forward() {
+        let orig: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data, Direction::Forward);
+        fft_in_place(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(orig.iter()) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let signal: Vec<f64> = (0..16).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        let spec = fft_real(&signal, 16);
+        // Direct DFT.
+        let n = 16usize;
+        for (k, s) in spec.iter().enumerate().take(n) {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in signal.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                acc += Complex::cis(ang).scale(x);
+            }
+            assert_close(s.re, acc.re, 1e-9);
+            assert_close(s.im, acc.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() + 0.2 * i as f64).collect();
+        let spec = fft_real(&signal, 64);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert_close(time_energy, freq_energy, 1e-6);
+    }
+
+    #[test]
+    fn cross_correlation_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| (i as f64 * 1.3).sin()).collect();
+        let y: Vec<f64> = (0..9).map(|i| (i as f64 * 0.9).cos()).collect();
+        let fast = cross_correlation(&x, &y);
+        let slow = cross_correlation_naive(&x, &y);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_lag_is_dot_product() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [0.5, -1.0, 2.0, 1.0];
+        let r = cross_correlation(&x, &y);
+        let dot: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        assert_close(r[y.len() - 1], dot, 1e-10);
+    }
+
+    #[test]
+    fn shifted_impulse_peaks_at_its_lag() {
+        // x is an impulse at 5, y at 2: best alignment at lag 3.
+        let mut x = vec![0.0; 16];
+        x[5] = 1.0;
+        let mut y = vec![0.0; 16];
+        y[2] = 1.0;
+        let r = cross_correlation(&x, &y);
+        let (argmax, _) = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let lag = argmax as isize - (y.len() as isize - 1);
+        assert_eq!(lag, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_in_place(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn next_pow2_handles_boundaries() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+}

@@ -1,0 +1,112 @@
+//! Normalizations of time series.
+//!
+//! k-Shape operates on z-normalized series (zero mean, unit variance); the
+//! paper's figures also use min–max scaling and normalization to a share of
+//! a total, both provided here.
+
+/// Z-normalizes a series: subtracts the mean and divides by the *population*
+/// standard deviation.
+///
+/// A constant series (zero variance) maps to all zeros rather than NaNs, so
+/// downstream distance computations stay finite.
+pub fn z_normalize(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd <= f64::EPSILON {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|x| (x - mean) / sd).collect()
+}
+
+/// Scales a series linearly into `[0, 1]`.
+///
+/// A constant series maps to all zeros.
+pub fn min_max_normalize(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in series {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|x| (x - lo) / span).collect()
+}
+
+/// Normalizes a non-negative series so its entries sum to one (a share
+/// vector). An all-zero series is returned unchanged.
+pub fn to_shares(series: &[f64]) -> Vec<f64> {
+    let total: f64 = series.iter().sum();
+    if total <= 0.0 {
+        return series.to_vec();
+    }
+    series.iter().map(|x| x / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_normalized_has_zero_mean_unit_variance() {
+        let s: Vec<f64> = (0..100).map(|i| (i as f64 * 0.17).sin() * 3.0 + 5.0).collect();
+        let z = z_normalize(&s);
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|x| x * x).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_normalizes_to_zeros() {
+        let z = z_normalize(&[7.0; 10]);
+        assert!(z.iter().all(|&x| x == 0.0));
+        let m = min_max_normalize(&[7.0; 10]);
+        assert!(m.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_outputs() {
+        assert!(z_normalize(&[]).is_empty());
+        assert!(min_max_normalize(&[]).is_empty());
+        assert!(to_shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_max_spans_unit_interval() {
+        let m = min_max_normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(m, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = to_shares(&[1.0, 3.0, 4.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_of_zero_vector_are_unchanged() {
+        assert_eq!(to_shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn z_normalization_is_shift_and_scale_invariant() {
+        let s: Vec<f64> = (0..50).map(|i| (i as f64).cos()).collect();
+        let t: Vec<f64> = s.iter().map(|x| 4.0 * x + 11.0).collect();
+        let zs = z_normalize(&s);
+        let zt = z_normalize(&t);
+        for (a, b) in zs.iter().zip(zt.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Dominant-period detection via the FFT power spectrum.
+//!
+//! The weekly series of the paper carry strong 24-hour (diurnal) and
+//! 168-hour (weekly) periodicities. This module finds the dominant period
+//! of a series from its power spectrum — used by the forecasting extension
+//! to auto-select the seasonal period, and by tests as a structural check
+//! on generated traffic.
+
+use crate::fft::{fft_real, next_pow2};
+
+/// One spectral line: a candidate period with its share of the signal's
+/// (non-DC) power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralPeak {
+    /// Period in samples (may be fractional after padding).
+    pub period: f64,
+    /// Fraction of the non-DC power carried by this frequency bin.
+    pub power_share: f64,
+}
+
+/// Returns the spectral peaks of `series`, strongest first, after mean
+/// removal and zero-padding to a power of two. Only periods in
+/// `[2, series.len()]` are reported.
+///
+/// # Panics
+///
+/// Panics if the series has fewer than 4 samples.
+pub fn spectral_peaks(series: &[f64], max_peaks: usize) -> Vec<SpectralPeak> {
+    assert!(series.len() >= 4, "need at least 4 samples");
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let centred: Vec<f64> = series.iter().map(|x| x - mean).collect();
+    let n = next_pow2(centred.len());
+    let spectrum = fft_real(&centred, n);
+
+    // Power per positive-frequency bin.
+    let half = n / 2;
+    let mut power: Vec<(usize, f64)> = (1..=half)
+        .map(|k| (k, spectrum[k].norm_sqr()))
+        .collect();
+    let total: f64 = power.iter().map(|(_, p)| p).sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    power.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    power
+        .into_iter()
+        .map(|(k, p)| SpectralPeak { period: n as f64 / k as f64, power_share: p / total })
+        .filter(|pk| pk.period >= 2.0 && pk.period <= series.len() as f64)
+        .take(max_peaks)
+        .collect()
+}
+
+/// The dominant period of `series`, or `None` when no bin carries at least
+/// `min_share` of the non-DC power (an aperiodic series).
+pub fn dominant_period(series: &[f64], min_share: f64) -> Option<f64> {
+    spectral_peaks(series, 1)
+        .first()
+        .filter(|p| p.power_share >= min_share)
+        .map(|p| p.period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_sine_period_is_found() {
+        // Period 32 over 256 samples (power-of-two: no leakage).
+        let s: Vec<f64> = (0..256)
+            .map(|i| (i as f64 / 32.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let p = dominant_period(&s, 0.5).expect("strong periodicity");
+        assert!((p - 32.0).abs() < 0.5, "period {p}");
+    }
+
+    #[test]
+    fn daily_cycle_in_weekly_series_is_found() {
+        // 168 samples, 24-sample period: padding to 256 causes leakage, so
+        // the detected period is approximate.
+        let s: Vec<f64> = (0..168)
+            .map(|i| 5.0 + ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let p = dominant_period(&s, 0.2).expect("diurnal cycle");
+        assert!((p - 24.0).abs() < 3.0, "period {p}");
+    }
+
+    #[test]
+    fn constant_series_has_no_peaks() {
+        assert!(dominant_period(&[7.0; 64], 0.1).is_none());
+        assert!(spectral_peaks(&[7.0; 64], 3).is_empty());
+    }
+
+    #[test]
+    fn noise_has_no_dominant_period() {
+        let s: Vec<f64> = (0..256)
+            .map(|i| {
+                let mut h = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        assert!(dominant_period(&s, 0.3).is_none());
+    }
+
+    #[test]
+    fn peaks_are_sorted_and_shares_bounded() {
+        let s: Vec<f64> = (0..128)
+            .map(|i| {
+                (i as f64 / 16.0 * std::f64::consts::TAU).sin()
+                    + 0.5 * (i as f64 / 8.0 * std::f64::consts::TAU).sin()
+            })
+            .collect();
+        let peaks = spectral_peaks(&s, 4);
+        assert!(peaks.len() >= 2);
+        for w in peaks.windows(2) {
+            assert!(w[0].power_share >= w[1].power_share);
+        }
+        let total: f64 = peaks.iter().map(|p| p.power_share).sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!((peaks[0].period - 16.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_series_is_rejected() {
+        spectral_peaks(&[1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Shape-based distance (SBD) from *k-Shape* (Paparrizos & Gravano,
+//! SIGMOD 2015).
+//!
+//! The paper clusters the weekly per-service time series with k-Shape
+//! (Figure 5). k-Shape measures dissimilarity with
+//!
+//! ```text
+//! SBD(x, y) = 1 − max_w NCC_c(x, y)(w)
+//! ```
+//!
+//! where `NCC_c` is the cross-correlation sequence normalized by the product
+//! of the series' Euclidean norms (*coefficient* normalization). SBD lies in
+//! `[0, 2]`, is 0 for identical shapes at any shift, and is invariant to
+//! amplitude scaling when inputs are z-normalized.
+
+use crate::fft::cross_correlation;
+
+/// Result of an NCC-c maximization: the best-aligned correlation value and
+/// the shift that achieves it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// Maximum coefficient-normalized cross-correlation, in `[-1, 1]`.
+    pub ncc: f64,
+    /// Shift (in samples) to apply to `y` for best alignment with `x`.
+    /// Positive means `y` is delayed (shifted right).
+    pub shift: isize,
+}
+
+/// Computes the full coefficient-normalized cross-correlation sequence
+/// `NCC_c(x, y)` and returns the maximizing [`Alignment`].
+///
+/// If either series has zero norm, the correlation is defined as 0 at shift
+/// 0 (two flat series have no shape to compare).
+pub fn ncc_c(x: &[f64], y: &[f64]) -> Alignment {
+    assert_eq!(x.len(), y.len(), "NCC-c requires equal-length series");
+    assert!(!x.is_empty(), "NCC-c of empty series");
+    let nx = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let ny = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if nx <= f64::EPSILON || ny <= f64::EPSILON {
+        return Alignment { ncc: 0.0, shift: 0 };
+    }
+    let denom = nx * ny;
+    let cc = cross_correlation(x, y);
+    let mut best = Alignment { ncc: f64::NEG_INFINITY, shift: 0 };
+    let zero_index = y.len() as isize - 1;
+    for (k, &v) in cc.iter().enumerate() {
+        let ncc = v / denom;
+        if ncc > best.ncc {
+            best = Alignment { ncc, shift: k as isize - zero_index };
+        }
+    }
+    best
+}
+
+/// Shape-based distance: `1 − max NCC_c(x, y)`, in `[0, 2]`.
+pub fn shape_based_distance(x: &[f64], y: &[f64]) -> f64 {
+    1.0 - ncc_c(x, y).ncc
+}
+
+/// Shifts `y` by `shift` samples (zero-filling), the alignment operation
+/// used when k-Shape refines centroids.
+pub fn shift_series(y: &[f64], shift: isize) -> Vec<f64> {
+    let n = y.len();
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i as isize - shift;
+        if src >= 0 && (src as usize) < n {
+            *o = y[src as usize];
+        }
+    }
+    out
+}
+
+/// Pairwise SBD matrix of a set of equal-length series.
+///
+/// The result is symmetric with a zero diagonal.
+pub fn sbd_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = shape_based_distance(&series[i], &series[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::z_normalize;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.5).sin()).collect();
+        assert!(shape_based_distance(&x, &x) < 1e-12);
+    }
+
+    #[test]
+    fn sbd_is_shift_invariant() {
+        let mut x = vec![0.0; 32];
+        for (i, v) in x.iter_mut().enumerate().take(8) {
+            *v = (i as f64 / 7.0 * std::f64::consts::PI).sin();
+        }
+        let y = shift_series(&x, 10);
+        let a = ncc_c(&x, &y);
+        assert!((a.ncc - 1.0).abs() < 1e-9, "ncc = {}", a.ncc);
+        assert_eq!(a.shift, -10);
+    }
+
+    #[test]
+    fn sbd_is_scale_invariant_after_znorm() {
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).cos() + 2.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v + 3.0).collect();
+        let d = shape_based_distance(&z_normalize(&x), &z_normalize(&y));
+        assert!(d < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn anti_correlated_series_approach_distance_two() {
+        // A monotone ramp and its negation stay negatively correlated at
+        // every shift (periodic signals would recover correlation when
+        // shifted by half a period, so we avoid them here).
+        let x: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        let d = shape_based_distance(&x, &y);
+        assert!(d > 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let x: Vec<f64> = (0..20).map(|i| ((i * 13) % 7) as f64).collect();
+        let y: Vec<f64> = (0..20).map(|i| ((i * 5) % 11) as f64).collect();
+        let dxy = shape_based_distance(&x, &y);
+        let dyx = shape_based_distance(&y, &x);
+        assert!((dxy - dyx).abs() < 1e-9);
+        assert!((0.0..=2.0).contains(&dxy));
+    }
+
+    #[test]
+    fn flat_series_yield_neutral_alignment() {
+        let x = vec![0.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = ncc_c(&x, &y);
+        assert_eq!(a.ncc, 0.0);
+        assert_eq!(a.shift, 0);
+        assert!((shape_based_distance(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_series_zero_fills() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(shift_series(&y, 2), vec![0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(shift_series(&y, -2), vec![3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(shift_series(&y, 0), y);
+        assert_eq!(shift_series(&y, 10), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn sbd_matrix_is_symmetric_with_zero_diagonal() {
+        let series: Vec<Vec<f64>> = (0..4)
+            .map(|s| (0..16).map(|i| ((i + s * 3) as f64 * 0.4).sin()).collect())
+            .collect();
+        let m = sbd_matrix(&series);
+        for i in 0..4 {
+            assert!(m[i][i] < 1e-12);
+            for j in 0..4 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+}

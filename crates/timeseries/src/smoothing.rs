@@ -1,0 +1,119 @@
+//! Smoothing filters for time series.
+//!
+//! The smoothed z-score peak detector of §4 of the paper maintains an
+//! exponentially *influenced* trailing window; the plain filters here are
+//! also used for plotting smoothed traffic curves (Figure 4 right).
+
+/// Centered moving average with window `2·half + 1`, shrinking at the
+/// boundaries so the output has the same length as the input.
+pub fn moving_average(series: &[f64], half: usize) -> Vec<f64> {
+    let n = series.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let window = &series[lo..hi];
+        out.push(window.iter().sum::<f64>() / window.len() as f64);
+    }
+    out
+}
+
+/// Trailing (causal) moving average over the previous `window` samples
+/// including the current one; shrinks at the start.
+pub fn trailing_average(series: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be at least 1");
+    let mut out = Vec::with_capacity(series.len());
+    for i in 0..series.len() {
+        let lo = (i + 1).saturating_sub(window);
+        let w = &series[lo..=i];
+        out.push(w.iter().sum::<f64>() / w.len() as f64);
+    }
+    out
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (1 = no smoothing).
+pub fn ewma(series: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let mut out = Vec::with_capacity(series.len());
+    let mut prev = None;
+    for &x in series {
+        let v = match prev {
+            None => x,
+            Some(p) => alpha * x + (1.0 - alpha) * p,
+        };
+        out.push(v);
+        prev = Some(v);
+    }
+    out
+}
+
+/// First differences `series[i+1] - series[i]`; output is one shorter.
+pub fn diff(series: &[f64]) -> Vec<f64> {
+    series.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_preserves_constants() {
+        let s = vec![3.0; 12];
+        assert_eq!(moving_average(&s, 2), s);
+        assert_eq!(trailing_average(&s, 4), s);
+        for (a, b) in ewma(&s, 0.3).iter().zip(s.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_an_impulse() {
+        let mut s = vec![0.0; 9];
+        s[4] = 9.0;
+        let m = moving_average(&s, 1);
+        assert_eq!(m[3], 3.0);
+        assert_eq!(m[4], 3.0);
+        assert_eq!(m[5], 3.0);
+        assert_eq!(m[0], 0.0);
+    }
+
+    #[test]
+    fn boundary_windows_shrink() {
+        let s = vec![1.0, 2.0, 3.0];
+        let m = moving_average(&s, 5);
+        // All windows cover the whole series.
+        for v in m {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trailing_average_is_causal() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let t = trailing_average(&s, 2);
+        assert_eq!(t, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn ewma_with_alpha_one_is_identity() {
+        let s = vec![5.0, -1.0, 2.0];
+        assert_eq!(ewma(&s, 1.0), s);
+    }
+
+    #[test]
+    fn ewma_lags_a_step() {
+        let mut s = vec![0.0; 5];
+        s.extend(vec![1.0; 5]);
+        let e = ewma(&s, 0.5);
+        assert!(e[5] < 1.0 && e[5] > 0.0);
+        assert!(e[9] > e[5], "converges toward the step level");
+    }
+
+    #[test]
+    fn diff_computes_first_differences() {
+        assert_eq!(diff(&[1.0, 4.0, 2.0]), vec![3.0, -2.0]);
+        assert!(diff(&[1.0]).is_empty());
+        assert!(diff(&[]).is_empty());
+    }
+}

@@ -1,0 +1,645 @@
+//! The aggregated traffic dataset — the shape of the paper's data after
+//! §2's commune-level aggregation.
+//!
+//! The analyses never need the full `service × commune × hour` cube; they
+//! consume three marginal tables, which is also what keeps a
+//! 36,000-commune country tractable:
+//!
+//! * **national hourly** series per service (Figures 4–7),
+//! * **commune weekly** totals per service (Figures 8–10),
+//! * **usage-class hourly** series per service (Figure 11),
+//!
+//! plus the weekly national totals of the ~480 tail services (Figure 2)
+//! and the per-commune subscriber counts used for per-user normalization.
+
+use mobilenet_geo::{CommuneId, Country, UsageClass};
+
+use crate::week::HOURS_PER_WEEK;
+
+/// Traffic direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Network → user.
+    Down,
+    /// User → network.
+    Up,
+}
+
+impl Direction {
+    /// Both directions, downlink first.
+    pub const BOTH: [Direction; 2] = [Direction::Down, Direction::Up];
+
+    /// Index into per-direction arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::Down => 0,
+            Direction::Up => 1,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Down => "downlink",
+            Direction::Up => "uplink",
+        }
+    }
+}
+
+/// Aggregated measurement tables for one week of traffic.
+///
+/// All volumes are in MB. `service` indices refer to the head catalog;
+/// tail services only appear in the national weekly ranking table.
+#[derive(Debug, Clone)]
+pub struct TrafficDataset {
+    n_services: usize,
+    n_communes: usize,
+    /// `[dir][service][hour]`, flattened.
+    national_hourly: Vec<f64>,
+    /// `[dir][service][commune]`, flattened.
+    commune_weekly: Vec<f64>,
+    /// `[dir][service][class][hour]`, flattened.
+    class_hourly: Vec<f64>,
+    /// `[dir][tail rank]`, flattened: weekly national volumes of tail
+    /// services.
+    tail_weekly: Vec<f64>,
+    /// Unclassified volume per direction (the DPI residue).
+    unclassified: [f64; 2],
+    /// Average subscribers per commune.
+    commune_users: Vec<f64>,
+    /// Usage class of each commune, by [`UsageClass::index`].
+    commune_class: Vec<u8>,
+    /// Subscribers per usage class.
+    class_users: [f64; 4],
+}
+
+impl TrafficDataset {
+    /// Creates an empty dataset shaped for `country` with `n_services` head
+    /// services, `n_tail` tail services, and the given subscriber share.
+    pub fn new(country: &Country, n_services: usize, n_tail: usize, subscriber_share: f64) -> Self {
+        let n_communes = country.communes().len();
+        let commune_users: Vec<f64> = country
+            .communes()
+            .iter()
+            .map(|c| c.population as f64 * subscriber_share)
+            .collect();
+        let commune_class: Vec<u8> =
+            country.communes().iter().map(|c| c.usage_class().index() as u8).collect();
+        let mut class_users = [0.0; 4];
+        for (u, &cls) in commune_users.iter().zip(commune_class.iter()) {
+            class_users[cls as usize] += u;
+        }
+        TrafficDataset {
+            n_services,
+            n_communes,
+            national_hourly: vec![0.0; 2 * n_services * HOURS_PER_WEEK],
+            commune_weekly: vec![0.0; 2 * n_services * n_communes],
+            class_hourly: vec![0.0; 2 * n_services * 4 * HOURS_PER_WEEK],
+            tail_weekly: vec![0.0; 2 * n_tail],
+            unclassified: [0.0; 2],
+            commune_users,
+            commune_class,
+            class_users,
+        }
+    }
+
+    /// Number of head services.
+    pub fn n_services(&self) -> usize {
+        self.n_services
+    }
+
+    /// Number of communes.
+    pub fn n_communes(&self) -> usize {
+        self.n_communes
+    }
+
+    /// Number of tail services.
+    pub fn n_tail(&self) -> usize {
+        self.tail_weekly.len() / 2
+    }
+
+    #[inline]
+    fn nh_index(&self, dir: usize, service: usize, hour: usize) -> usize {
+        (dir * self.n_services + service) * HOURS_PER_WEEK + hour
+    }
+
+    #[inline]
+    fn cw_index(&self, dir: usize, service: usize, commune: usize) -> usize {
+        (dir * self.n_services + service) * self.n_communes + commune
+    }
+
+    #[inline]
+    fn ch_index(&self, dir: usize, service: usize, class: usize, hour: usize) -> usize {
+        ((dir * self.n_services + service) * 4 + class) * HOURS_PER_WEEK + hour
+    }
+
+    /// Records `mb` of classified traffic for `(service, commune, hour)`.
+    pub fn add(
+        &mut self,
+        dir: Direction,
+        service: usize,
+        commune: CommuneId,
+        hour: usize,
+        mb: f64,
+    ) {
+        debug_assert!(service < self.n_services);
+        debug_assert!(hour < HOURS_PER_WEEK);
+        debug_assert!(mb >= 0.0);
+        let d = dir.index();
+        let c = commune.index();
+        let class = self.commune_class[c] as usize;
+        let nh = self.nh_index(d, service, hour);
+        let cw = self.cw_index(d, service, c);
+        let ch = self.ch_index(d, service, class, hour);
+        self.national_hourly[nh] += mb;
+        self.commune_weekly[cw] += mb;
+        self.class_hourly[ch] += mb;
+    }
+
+    /// Records `mb` of traffic the classifier could not attribute.
+    pub fn add_unclassified(&mut self, dir: Direction, mb: f64) {
+        debug_assert!(mb >= 0.0);
+        self.unclassified[dir.index()] += mb;
+    }
+
+    /// Records the weekly national volume of a tail service (by tail rank).
+    pub fn add_tail(&mut self, dir: Direction, tail_rank: usize, mb: f64) {
+        let n = self.n_tail();
+        debug_assert!(tail_rank < n);
+        self.tail_weekly[dir.index() * n + tail_rank] += mb;
+    }
+
+    /// The 168-hour national series of a head service.
+    pub fn national_series(&self, dir: Direction, service: usize) -> &[f64] {
+        let start = self.nh_index(dir.index(), service, 0);
+        &self.national_hourly[start..start + HOURS_PER_WEEK]
+    }
+
+    /// Weekly national total of a head service.
+    pub fn national_weekly(&self, dir: Direction, service: usize) -> f64 {
+        self.national_series(dir, service).iter().sum()
+    }
+
+    /// The per-commune weekly totals of a head service.
+    pub fn commune_vector(&self, dir: Direction, service: usize) -> &[f64] {
+        let start = self.cw_index(dir.index(), service, 0);
+        &self.commune_weekly[start..start + self.n_communes]
+    }
+
+    /// Weekly per-subscriber volume in every commune (0 where a commune has
+    /// no subscribers) — the quantity mapped in Figure 9 and correlated in
+    /// Figure 10.
+    pub fn per_user_commune_vector(&self, dir: Direction, service: usize) -> Vec<f64> {
+        self.commune_vector(dir, service)
+            .iter()
+            .zip(self.commune_users.iter())
+            .map(|(v, u)| if *u > 0.0 { v / u } else { 0.0 })
+            .collect()
+    }
+
+    /// The 168-hour series of a head service within one usage class.
+    pub fn class_series(&self, dir: Direction, service: usize, class: UsageClass) -> &[f64] {
+        let start = self.ch_index(dir.index(), service, class.index(), 0);
+        &self.class_hourly[start..start + HOURS_PER_WEEK]
+    }
+
+    /// Per-subscriber hourly series of a head service within one usage
+    /// class (Figure 11's unit).
+    pub fn per_user_class_series(
+        &self,
+        dir: Direction,
+        service: usize,
+        class: UsageClass,
+    ) -> Vec<f64> {
+        let users = self.class_users[class.index()];
+        self.class_series(dir, service, class)
+            .iter()
+            .map(|v| if users > 0.0 { v / users } else { 0.0 })
+            .collect()
+    }
+
+    /// Weekly national volumes of the tail services, in tail-rank order.
+    pub fn tail_weekly(&self, dir: Direction) -> &[f64] {
+        let n = self.n_tail();
+        &self.tail_weekly[dir.index() * n..(dir.index() + 1) * n]
+    }
+
+    /// The full service ranking: head weekly totals followed by tail
+    /// volumes, sorted descending — the series of Figure 2.
+    pub fn full_ranking(&self, dir: Direction) -> Vec<f64> {
+        let mut all: Vec<f64> =
+            (0..self.n_services).map(|s| self.national_weekly(dir, s)).collect();
+        all.extend_from_slice(self.tail_weekly(dir));
+        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        all
+    }
+
+    /// Total classified volume in a direction (head + tail), MB.
+    pub fn total_classified(&self, dir: Direction) -> f64 {
+        let head: f64 = (0..self.n_services).map(|s| self.national_weekly(dir, s)).sum();
+        let tail: f64 = self.tail_weekly(dir).iter().sum();
+        head + tail
+    }
+
+    /// Unclassified volume in a direction, MB.
+    pub fn unclassified(&self, dir: Direction) -> f64 {
+        self.unclassified[dir.index()]
+    }
+
+    /// Total volume (classified + unclassified), MB.
+    pub fn total(&self, dir: Direction) -> f64 {
+        self.total_classified(dir) + self.unclassified(dir)
+    }
+
+    /// Average subscribers per commune.
+    pub fn commune_users(&self) -> &[f64] {
+        &self.commune_users
+    }
+
+    /// Subscribers per usage class, by [`UsageClass::index`].
+    pub fn class_users(&self) -> [f64; 4] {
+        self.class_users
+    }
+
+    /// Usage-class index of each commune.
+    pub fn commune_classes(&self) -> &[u8] {
+        &self.commune_class
+    }
+
+    /// Serializes the dataset to a sectioned CSV text format, so studies
+    /// can be exported once and re-analyzed without regenerating.
+    ///
+    /// Format: a header line, then one line per logical row
+    /// (`section,key...,values...`). Round-trips exactly through
+    /// [`TrafficDataset::from_csv`] (floats are written with full
+    /// precision).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "#mobilenet-dataset v1,{},{},{}",
+            self.n_services,
+            self.n_communes,
+            self.n_tail()
+        );
+        let _ = writeln!(
+            out,
+            "unclassified,{:e},{:e}",
+            self.unclassified[0], self.unclassified[1]
+        );
+        let join = |xs: &[f64]| {
+            xs.iter().map(|v| format!("{v:e}")).collect::<Vec<_>>().join(",")
+        };
+        let _ = writeln!(out, "commune_users,{}", join(&self.commune_users));
+        let classes: Vec<String> =
+            self.commune_class.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(out, "commune_class,{}", classes.join(","));
+        for d in 0..2 {
+            for s in 0..self.n_services {
+                let start = self.nh_index(d, s, 0);
+                let _ = writeln!(
+                    out,
+                    "national_hourly,{d},{s},{}",
+                    join(&self.national_hourly[start..start + HOURS_PER_WEEK])
+                );
+                let cw = self.cw_index(d, s, 0);
+                let _ = writeln!(
+                    out,
+                    "commune_weekly,{d},{s},{}",
+                    join(&self.commune_weekly[cw..cw + self.n_communes])
+                );
+                for class in 0..4 {
+                    let ch = self.ch_index(d, s, class, 0);
+                    let _ = writeln!(
+                        out,
+                        "class_hourly,{d},{s},{class},{}",
+                        join(&self.class_hourly[ch..ch + HOURS_PER_WEEK])
+                    );
+                }
+            }
+            let n = self.n_tail();
+            let _ = writeln!(
+                out,
+                "tail_weekly,{d},{}",
+                join(&self.tail_weekly[d * n..(d + 1) * n])
+            );
+        }
+        out
+    }
+
+    /// Parses a dataset previously written by [`TrafficDataset::to_csv`].
+    pub fn from_csv(text: &str) -> Result<TrafficDataset, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty input")?;
+        let header = header
+            .strip_prefix("#mobilenet-dataset v1,")
+            .ok_or("missing/unsupported header")?;
+        let dims: Vec<usize> = header
+            .split(',')
+            .map(|x| x.parse().map_err(|e| format!("bad dimension: {e}")))
+            .collect::<Result<_, _>>()?;
+        if dims.len() != 3 {
+            return Err("header needs 3 dimensions".into());
+        }
+        let (n_services, n_communes, n_tail) = (dims[0], dims[1], dims[2]);
+
+        let parse_floats = |s: &str| -> Result<Vec<f64>, String> {
+            s.split(',')
+                .map(|x| x.parse::<f64>().map_err(|e| format!("bad float {x:?}: {e}")))
+                .collect()
+        };
+
+        let mut ds = TrafficDataset {
+            n_services,
+            n_communes,
+            national_hourly: vec![0.0; 2 * n_services * HOURS_PER_WEEK],
+            commune_weekly: vec![0.0; 2 * n_services * n_communes],
+            class_hourly: vec![0.0; 2 * n_services * 4 * HOURS_PER_WEEK],
+            tail_weekly: vec![0.0; 2 * n_tail],
+            unclassified: [0.0; 2],
+            commune_users: vec![0.0; n_communes],
+            commune_class: vec![0; n_communes],
+            class_users: [0.0; 4],
+        };
+
+        for line in lines {
+            let (section, rest) = line.split_once(',').ok_or("malformed line")?;
+            match section {
+                "unclassified" => {
+                    let v = parse_floats(rest)?;
+                    if v.len() != 2 {
+                        return Err("unclassified needs 2 values".into());
+                    }
+                    ds.unclassified = [v[0], v[1]];
+                }
+                "commune_users" => {
+                    let v = parse_floats(rest)?;
+                    if v.len() != n_communes {
+                        return Err("commune_users length mismatch".into());
+                    }
+                    ds.commune_users = v;
+                }
+                "commune_class" => {
+                    let v: Vec<u8> = rest
+                        .split(',')
+                        .map(|x| x.parse().map_err(|e| format!("bad class: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    if v.len() != n_communes {
+                        return Err("commune_class length mismatch".into());
+                    }
+                    ds.commune_class = v;
+                }
+                "national_hourly" => {
+                    let (d, rest) = rest.split_once(',').ok_or("missing dir")?;
+                    let (s, values) = rest.split_once(',').ok_or("missing service")?;
+                    let d: usize = d.parse().map_err(|_| "bad dir")?;
+                    let s: usize = s.parse().map_err(|_| "bad service")?;
+                    let v = parse_floats(values)?;
+                    if d >= 2 || s >= n_services || v.len() != HOURS_PER_WEEK {
+                        return Err("national_hourly row out of range".into());
+                    }
+                    let start = ds.nh_index(d, s, 0);
+                    ds.national_hourly[start..start + HOURS_PER_WEEK].copy_from_slice(&v);
+                }
+                "commune_weekly" => {
+                    let (d, rest) = rest.split_once(',').ok_or("missing dir")?;
+                    let (s, values) = rest.split_once(',').ok_or("missing service")?;
+                    let d: usize = d.parse().map_err(|_| "bad dir")?;
+                    let s: usize = s.parse().map_err(|_| "bad service")?;
+                    let v = parse_floats(values)?;
+                    if d >= 2 || s >= n_services || v.len() != n_communes {
+                        return Err("commune_weekly row out of range".into());
+                    }
+                    let start = ds.cw_index(d, s, 0);
+                    ds.commune_weekly[start..start + n_communes].copy_from_slice(&v);
+                }
+                "class_hourly" => {
+                    let (d, rest) = rest.split_once(',').ok_or("missing dir")?;
+                    let (s, rest) = rest.split_once(',').ok_or("missing service")?;
+                    let (class, values) = rest.split_once(',').ok_or("missing class")?;
+                    let d: usize = d.parse().map_err(|_| "bad dir")?;
+                    let s: usize = s.parse().map_err(|_| "bad service")?;
+                    let class: usize = class.parse().map_err(|_| "bad class")?;
+                    let v = parse_floats(values)?;
+                    if d >= 2 || s >= n_services || class >= 4 || v.len() != HOURS_PER_WEEK {
+                        return Err("class_hourly row out of range".into());
+                    }
+                    let start = ds.ch_index(d, s, class, 0);
+                    ds.class_hourly[start..start + HOURS_PER_WEEK].copy_from_slice(&v);
+                }
+                "tail_weekly" => {
+                    let (d, values) = rest.split_once(',').ok_or("missing dir")?;
+                    let d: usize = d.parse().map_err(|_| "bad dir")?;
+                    let v = parse_floats(values)?;
+                    if d >= 2 || v.len() != n_tail {
+                        return Err("tail_weekly row out of range".into());
+                    }
+                    ds.tail_weekly[d * n_tail..(d + 1) * n_tail].copy_from_slice(&v);
+                }
+                other => return Err(format!("unknown section {other:?}")),
+            }
+        }
+
+        // Recompute the derived class_users table.
+        let mut class_users = [0.0; 4];
+        for (u, &c) in ds.commune_users.iter().zip(ds.commune_class.iter()) {
+            if c as usize >= 4 {
+                return Err("commune class out of range".into());
+            }
+            class_users[c as usize] += u;
+        }
+        ds.class_users = class_users;
+        Ok(ds)
+    }
+
+    /// Merges another dataset (same shape) into this one. Used to combine
+    /// chunks generated in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &TrafficDataset) {
+        assert_eq!(self.n_services, other.n_services);
+        assert_eq!(self.n_communes, other.n_communes);
+        assert_eq!(self.tail_weekly.len(), other.tail_weekly.len());
+        for (a, b) in self.national_hourly.iter_mut().zip(&other.national_hourly) {
+            *a += b;
+        }
+        for (a, b) in self.commune_weekly.iter_mut().zip(&other.commune_weekly) {
+            *a += b;
+        }
+        for (a, b) in self.class_hourly.iter_mut().zip(&other.class_hourly) {
+            *a += b;
+        }
+        for (a, b) in self.tail_weekly.iter_mut().zip(&other.tail_weekly) {
+            *a += b;
+        }
+        self.unclassified[0] += other.unclassified[0];
+        self.unclassified[1] += other.unclassified[1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobilenet_geo::CountryConfig;
+
+    fn dataset() -> (Country, TrafficDataset) {
+        let country = Country::generate(&CountryConfig::small(), 5);
+        let ds = TrafficDataset::new(&country, 3, 10, 0.5);
+        (country, ds)
+    }
+
+    #[test]
+    fn add_updates_all_three_marginals() {
+        let (country, mut ds) = dataset();
+        let commune = country.communes()[10].id;
+        let class = country.communes()[10].usage_class();
+        ds.add(Direction::Down, 1, commune, 42, 7.5);
+        assert_eq!(ds.national_series(Direction::Down, 1)[42], 7.5);
+        assert_eq!(ds.commune_vector(Direction::Down, 1)[10], 7.5);
+        assert_eq!(ds.class_series(Direction::Down, 1, class)[42], 7.5);
+        // Other direction untouched.
+        assert_eq!(ds.national_series(Direction::Up, 1)[42], 0.0);
+        assert_eq!(ds.national_weekly(Direction::Down, 1), 7.5);
+    }
+
+    #[test]
+    fn class_series_sum_to_national() {
+        let (country, mut ds) = dataset();
+        for (i, c) in country.communes().iter().enumerate().take(50) {
+            ds.add(Direction::Up, 0, c.id, i % HOURS_PER_WEEK, 1.0 + i as f64);
+        }
+        for hour in 0..HOURS_PER_WEEK {
+            let national = ds.national_series(Direction::Up, 0)[hour];
+            let class_sum: f64 = UsageClass::ALL
+                .iter()
+                .map(|&cls| ds.class_series(Direction::Up, 0, cls)[hour])
+                .sum();
+            assert!((national - class_sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_user_normalization_divides_by_subscribers() {
+        let (country, mut ds) = dataset();
+        let c = &country.communes()[3];
+        ds.add(Direction::Down, 0, c.id, 0, 100.0);
+        let per_user = ds.per_user_commune_vector(Direction::Down, 0);
+        let users = c.population as f64 * 0.5;
+        assert!((per_user[3] - 100.0 / users).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_ranking_is_sorted_and_complete() {
+        let (country, mut ds) = dataset();
+        let id = country.communes()[0].id;
+        ds.add(Direction::Down, 0, id, 0, 5.0);
+        ds.add(Direction::Down, 1, id, 0, 50.0);
+        ds.add(Direction::Down, 2, id, 0, 0.5);
+        for rank in 0..10 {
+            ds.add_tail(Direction::Down, rank, 1.0 / (rank + 1) as f64);
+        }
+        let ranking = ds.full_ranking(Direction::Down);
+        assert_eq!(ranking.len(), 13);
+        assert_eq!(ranking[0], 50.0);
+        for w in ranking.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let total: f64 = ranking.iter().sum();
+        assert!((ds.total_classified(Direction::Down) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unclassified_counts_into_total_only() {
+        let (_, mut ds) = dataset();
+        ds.add_unclassified(Direction::Down, 12.0);
+        assert_eq!(ds.unclassified(Direction::Down), 12.0);
+        assert_eq!(ds.total_classified(Direction::Down), 0.0);
+        assert_eq!(ds.total(Direction::Down), 12.0);
+    }
+
+    #[test]
+    fn merge_adds_tables() {
+        let (country, mut a) = dataset();
+        let mut b = TrafficDataset::new(&country, 3, 10, 0.5);
+        let id = country.communes()[7].id;
+        a.add(Direction::Down, 2, id, 5, 1.0);
+        b.add(Direction::Down, 2, id, 5, 2.0);
+        b.add_tail(Direction::Up, 3, 4.0);
+        b.add_unclassified(Direction::Up, 1.0);
+        a.merge(&b);
+        assert_eq!(a.national_series(Direction::Down, 2)[5], 3.0);
+        assert_eq!(a.tail_weekly(Direction::Up)[3], 4.0);
+        assert_eq!(a.unclassified(Direction::Up), 1.0);
+    }
+
+    #[test]
+    fn class_users_sum_to_total_subscribers() {
+        let (country, ds) = dataset();
+        let total: f64 = ds.class_users().iter().sum();
+        let want = country.total_population() as f64 * 0.5;
+        assert!((total - want).abs() < 1.0);
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let (country, mut ds) = dataset();
+        for (i, c) in country.communes().iter().enumerate().take(40) {
+            ds.add(Direction::Down, i % 3, c.id, (i * 7) % HOURS_PER_WEEK, 0.1 + i as f64);
+            ds.add(Direction::Up, (i + 1) % 3, c.id, (i * 5) % HOURS_PER_WEEK, 0.01 * i as f64);
+        }
+        ds.add_unclassified(Direction::Down, 3.25);
+        for r in 0..10 {
+            ds.add_tail(Direction::Up, r, (r as f64).exp());
+        }
+        let text = ds.to_csv();
+        let back = TrafficDataset::from_csv(&text).expect("parse");
+        assert_eq!(back.n_services(), ds.n_services());
+        assert_eq!(back.n_communes(), ds.n_communes());
+        for dir in Direction::BOTH {
+            for s in 0..3 {
+                assert_eq!(back.national_series(dir, s), ds.national_series(dir, s));
+                assert_eq!(back.commune_vector(dir, s), ds.commune_vector(dir, s));
+                for class in UsageClass::ALL {
+                    assert_eq!(
+                        back.class_series(dir, s, class),
+                        ds.class_series(dir, s, class)
+                    );
+                }
+            }
+            assert_eq!(back.tail_weekly(dir), ds.tail_weekly(dir));
+            assert_eq!(back.unclassified(dir), ds.unclassified(dir));
+        }
+        assert_eq!(back.class_users(), ds.class_users());
+        assert_eq!(back.commune_users(), ds.commune_users());
+    }
+
+    #[test]
+    fn csv_parser_rejects_malformed_input() {
+        assert!(TrafficDataset::from_csv("").is_err());
+        assert!(TrafficDataset::from_csv("not a dataset").is_err());
+        assert!(TrafficDataset::from_csv("#mobilenet-dataset v1,2,3").is_err());
+        assert!(
+            TrafficDataset::from_csv("#mobilenet-dataset v1,1,1,1\nbogus,1,2").is_err()
+        );
+        assert!(TrafficDataset::from_csv(
+            "#mobilenet-dataset v1,1,2,0\ncommune_users,1.0"
+        )
+        .is_err());
+        assert!(TrafficDataset::from_csv(
+            "#mobilenet-dataset v1,1,1,0\nunclassified,1.0,abc"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn direction_indices_are_stable() {
+        assert_eq!(Direction::Down.index(), 0);
+        assert_eq!(Direction::Up.index(), 1);
+        assert_eq!(Direction::Down.label(), "downlink");
+        assert_eq!(Direction::Up.label(), "uplink");
+    }
+}

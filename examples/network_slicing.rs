@@ -1,0 +1,74 @@
+//! Network-slicing dimensioning — the paper's motivating application.
+//!
+//! The introduction argues that understanding *when* each service is
+//! consumed enables dynamic resource orchestration: "an effective
+//! orchestration of network slices builds on the spatial [and temporal]
+//! complementarity of the demands for the different services". This
+//! example quantifies that: if every service category got its own
+//! statically-dimensioned slice (provisioned for its own peak), how much
+//! more capacity would that need than a shared pool provisioned for the
+//! peak of the *sum*? The temporal heterogeneity the paper demonstrates
+//! (services peaking at different topical times) is exactly what makes
+//! the shared pool cheaper.
+//!
+//! ```text
+//! cargo run --release --example network_slicing
+//! ```
+
+use std::collections::BTreeMap;
+
+use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::traffic::{Direction, HOURS_PER_WEEK};
+
+fn main() {
+    let study = Study::generate(&StudyConfig::small(), 42);
+    let ds = study.dataset();
+
+    // Aggregate national hourly downlink per category.
+    let mut per_category: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for (s, spec) in study.catalog().head().iter().enumerate() {
+        let series = ds.national_series(Direction::Down, s);
+        let entry = per_category
+            .entry(spec.category.label())
+            .or_insert_with(|| vec![0.0; HOURS_PER_WEEK]);
+        for (acc, v) in entry.iter_mut().zip(series.iter()) {
+            *acc += v;
+        }
+    }
+
+    println!("== per-slice (static) dimensioning ==");
+    println!("{:<16} {:>12} {:>12} {:>8}", "slice", "peak MB/h", "mean MB/h", "peak/mean");
+    let mut sum_of_peaks = 0.0;
+    let mut total = vec![0.0; HOURS_PER_WEEK];
+    for (category, series) in &per_category {
+        let peak = series.iter().cloned().fold(0.0f64, f64::max);
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        sum_of_peaks += peak;
+        for (acc, v) in total.iter_mut().zip(series.iter()) {
+            *acc += v;
+        }
+        println!("{:<16} {:>12.0} {:>12.0} {:>8.2}", category, peak, mean, peak / mean);
+    }
+
+    let shared_peak = total.iter().cloned().fold(0.0f64, f64::max);
+    println!("\n== pooling gain from temporal complementarity ==");
+    println!("sum of per-slice peaks : {:>12.0} MB/h", sum_of_peaks);
+    println!("peak of the shared pool: {:>12.0} MB/h", shared_peak);
+    println!(
+        "static slicing over-provisions by {:.1}% — the temporal heterogeneity of §4 is the saving",
+        (sum_of_peaks / shared_peak - 1.0) * 100.0
+    );
+
+    // When does each slice need its capacity? Distinct peak hours are the
+    // fingerprint of Figure 6.
+    println!("\n== peak hour of each slice (hour-of-week, 0 = Sat 00:00) ==");
+    for (category, series) in &per_category {
+        let (argmax, _) = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let day = ["Sat", "Sun", "Mon", "Tue", "Wed", "Thu", "Fri"][argmax / 24];
+        println!("{:<16} {} {:02}:00", category, day, argmax % 24);
+    }
+}

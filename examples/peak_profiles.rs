@@ -1,0 +1,96 @@
+//! Per-service activity-peak profiles — a terminal rendering of Figure 6.
+//!
+//! Runs the smoothed z-score detector (§4) on every service's national
+//! series and prints which of the seven topical times each service peaks
+//! at, with the measured peak intensity.
+//!
+//! ```text
+//! cargo run --release --example peak_profiles
+//! ```
+
+use mobilenet::core::peaks::PeakConfig;
+use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::topical::topical_profiles;
+use mobilenet::traffic::{Direction, TopicalTime};
+
+fn main() {
+    // Expected-value path: noise-free aggregates at demo scale. The measured
+    // path gives the same picture at figure scale (6k+ communes) — see the
+    // `figures` binary — but at 1,000 communes its sampling noise would blur
+    // this illustration.
+    let study = Study::generate(&StudyConfig::small().expected(), 42);
+    let profiles = topical_profiles(&study, Direction::Down, &PeakConfig::paper());
+
+    // Header: one column per topical time (ring order of Figure 6).
+    print!("{:<17}", "service");
+    for t in TopicalTime::ALL {
+        print!("{:>12}", short_label(t));
+    }
+    println!();
+    println!("{}", "-".repeat(17 + 12 * 7));
+
+    for p in &profiles {
+        print!("{:<17}", p.name);
+        for t in TopicalTime::ALL {
+            match p.intensity[t.index()] {
+                Some(v) if p.has_peak[t.index()] => print!("{:>11.0}%", v * 100.0),
+                _ => print!("{:>12}", "·"),
+            }
+        }
+        println!();
+    }
+
+    // The §4 observations.
+    let midday = profiles
+        .iter()
+        .filter(|p| p.has_peak[TopicalTime::Midday.index()])
+        .count();
+    println!(
+        "\n{midday}/{} services peak at weekday midday (paper: almost all).",
+        profiles.len()
+    );
+    let students: Vec<&str> = profiles
+        .iter()
+        .filter(|p| p.has_peak[TopicalTime::MorningBreak.index()])
+        .map(|p| p.name)
+        .collect();
+    println!(
+        "morning-break peaks (the paper's student services): {}",
+        students.join(", ")
+    );
+
+    // Few identical (timing, intensity) signatures → the clustering of
+    // Figure 5 finds nothing to group.
+    let mut signatures: Vec<[Option<u8>; 7]> = profiles
+        .iter()
+        .map(|p| {
+            let mut sig = [None; 7];
+            for (i, s) in sig.iter_mut().enumerate() {
+                if p.has_peak[i] {
+                    *s = Some((p.intensity[i].unwrap_or(0.0) / 0.25).round() as u8);
+                }
+            }
+            sig
+        })
+        .collect();
+    signatures.sort_unstable();
+    let total = signatures.len();
+    signatures.dedup();
+    println!(
+        "{} distinct peak signatures over {} services — temporal dynamics are heterogeneous.",
+        signatures.len(),
+        total
+    );
+}
+
+fn short_label(t: TopicalTime) -> &'static str {
+    match t {
+        TopicalTime::WeekendMidday => "we-midday",
+        TopicalTime::WeekendEvening => "we-evening",
+        TopicalTime::MorningCommute => "commute-am",
+        TopicalTime::MorningBreak => "break-am",
+        TopicalTime::Midday => "midday",
+        TopicalTime::AfternoonCommute => "commute-pm",
+        TopicalTime::Evening => "evening",
+    }
+}

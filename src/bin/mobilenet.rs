@@ -1,0 +1,194 @@
+//! `mobilenet` — command-line front end to the reproduction.
+//!
+//! ```text
+//! mobilenet overview  [--scale S] [--seed N]             dataset + collection summary
+//! mobilenet ranking   [--scale S] [--seed N] [--uplink]  Figure 3 as a table
+//! mobilenet peaks     [--scale S] [--seed N]             Figure 6 as a table
+//! mobilenet map       [--scale S] [--seed N] [--service NAME] [--width W]
+//! mobilenet forecast  [--scale S] [--seed N]             predictability report
+//! mobilenet export    [--scale S] [--seed N] --out FILE  dataset CSV for offline analysis
+//! ```
+//!
+//! Scales: `small` (1k communes), `medium` (6k), `france` (36k).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mobilenet::core::peaks::PeakConfig;
+use mobilenet::core::ranking::service_ranking;
+use mobilenet::core::report::overview_text;
+use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::topical::topical_profiles;
+use mobilenet::core::{forecast, maps};
+use mobilenet::traffic::{Direction, TopicalTime};
+
+struct Args {
+    command: String,
+    scale: String,
+    seed: u64,
+    uplink: bool,
+    service: String,
+    width: usize,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
+         [--scale small|medium|france] [--seed N] [--uplink] \
+         [--service NAME] [--width W] [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) => c,
+        None => return Err(usage()),
+    };
+    let mut args = Args {
+        command,
+        scale: "small".into(),
+        seed: 2016_09_24,
+        uplink: false,
+        service: "Twitter".into(),
+        width: 72,
+        out: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => args.scale = argv.next().ok_or_else(usage)?,
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
+            "--uplink" => args.uplink = true,
+            "--service" => args.service = argv.next().ok_or_else(usage)?,
+            "--width" => {
+                args.width = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?
+            }
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or_else(usage)?)),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn study_config(scale: &str) -> Option<StudyConfig> {
+    match scale {
+        "small" => Some(StudyConfig::small()),
+        "medium" => Some(StudyConfig::medium()),
+        "france" => Some(StudyConfig::france_scale()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some(config) = study_config(&args.scale) else {
+        eprintln!("unknown scale {:?}; use small|medium|france", args.scale);
+        return ExitCode::from(2);
+    };
+    let dir = if args.uplink { Direction::Up } else { Direction::Down };
+
+    eprintln!("generating {} study (seed {})...", args.scale, args.seed);
+    let study = Study::generate(&config, args.seed);
+
+    match args.command.as_str() {
+        "overview" => {
+            print!("{}", overview_text(&study));
+        }
+        "ranking" => {
+            let r = service_ranking(&study, dir);
+            println!("{:<4} {:<17} {:<16} {:>8}", "#", "service", "category", "share");
+            for (i, s) in r.services.iter().enumerate() {
+                println!(
+                    "{:<4} {:<17} {:<16} {:>7.2}%",
+                    i + 1,
+                    s.name,
+                    s.category.label(),
+                    s.share_of_total * 100.0
+                );
+            }
+            println!(
+                "top-20 share {:.1}%, unclassified {:.1}%",
+                r.head_share * 100.0,
+                r.unclassified_share * 100.0
+            );
+        }
+        "peaks" => {
+            let profiles = topical_profiles(&study, dir, &PeakConfig::paper());
+            print!("{:<17}", "service");
+            for t in TopicalTime::ALL {
+                print!(" {:>10}", t.label().split(' ').next().unwrap());
+            }
+            println!();
+            for p in &profiles {
+                print!("{:<17}", p.name);
+                for t in TopicalTime::ALL {
+                    print!(
+                        " {:>10}",
+                        if p.has_peak[t.index()] { "peak" } else { "·" }
+                    );
+                }
+                println!();
+            }
+        }
+        "map" => {
+            let Some(spec) = study.catalog().by_name(&args.service) else {
+                eprintln!("unknown service {:?}", args.service);
+                return ExitCode::from(2);
+            };
+            let grid = maps::per_user_map(&study, dir, spec.id.index(), args.width);
+            println!(
+                "per-subscriber weekly {} traffic of {} (log scale):",
+                dir.label(),
+                spec.name
+            );
+            print!("{}", grid.to_ascii());
+        }
+        "forecast" => {
+            let report = forecast::forecast_report(&study, dir, 120);
+            println!(
+                "{:<17} {:>12} {:>12}",
+                "service", "naive sMAPE", "HW sMAPE"
+            );
+            for f in &report {
+                println!(
+                    "{:<17} {:>11.1}% {:>11.1}%",
+                    f.name,
+                    f.naive.smape * 100.0,
+                    f.holt_winters.smape * 100.0
+                );
+            }
+        }
+        "export" => {
+            let Some(path) = args.out else {
+                eprintln!("export needs --out FILE");
+                return ExitCode::from(2);
+            };
+            let csv = study.dataset().to_csv();
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("dataset written to {}", path.display());
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}
