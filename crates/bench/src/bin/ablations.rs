@@ -39,7 +39,7 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--seed")
         .map(|w| w[1].parse().expect("--seed must be an integer"))
-        .unwrap_or(2016_09_24);
+        .unwrap_or(mobilenet_bench::SEED);
 
     localization_sweep(seed);
     classification_sweep(seed);

@@ -1,0 +1,189 @@
+//! Emits `BENCH_baseline.json`: wall-clock timings of the pipeline's hot
+//! stages, serial (1 thread) versus parallel (all configured workers).
+//!
+//! ```text
+//! bench_baseline [--scale small|medium|france] [--seed N] [--out FILE]
+//!                [--threads N]
+//! ```
+//!
+//! Every stage is the same computation the `figures` binary runs; the
+//! parallel pass must produce bit-identical results (asserted here via
+//! the dataset CSV), so the timings compare *only* scheduling.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mobilenet_core::peaks::PeakConfig;
+use mobilenet_core::spatial::spatial_correlation;
+use mobilenet_core::study::{Study, StudyConfig};
+use mobilenet_core::temporal::{clustering_sweep, Algorithm};
+use mobilenet_core::topical::topical_profiles;
+use mobilenet_geo::Country;
+use mobilenet_netsim::collect;
+use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog};
+
+struct Args {
+    scale: String,
+    seed: u64,
+    out: PathBuf,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: "medium".to_string(),
+        seed: mobilenet_bench::SEED,
+        out: PathBuf::from("BENCH_baseline.json"),
+        threads: mobilenet_par::current_threads(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => args.scale = it.next().expect("--scale needs a value"),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be a positive integer");
+                assert!(args.threads >= 1, "--threads must be at least 1");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One stage timed under one thread count.
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+fn main() {
+    let args = parse_args();
+    let config = match args.scale.as_str() {
+        "small" => StudyConfig::small(),
+        "medium" => StudyConfig::medium(),
+        "france" => StudyConfig::france_scale(),
+        other => {
+            eprintln!("unknown scale {other}; use small|medium|france");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "bench_baseline: {} scale, seed {}, serial vs {} threads",
+        args.scale, args.seed, args.threads
+    );
+    let country = Arc::new(Country::generate(&config.country, args.seed));
+    let catalog = Arc::new(ServiceCatalog::standard(config.traffic.n_tail_services));
+    let model = DemandModel::new(
+        country.clone(),
+        catalog.clone(),
+        config.traffic.clone(),
+        args.seed,
+    );
+
+    let stage_names = ["generation", "aggregation", "pairwise_r2", "kshape_sweep", "peaks"];
+    let mut serial_s = Vec::new();
+    let mut parallel_s = Vec::new();
+    let mut digests: Vec<String> = Vec::new();
+
+    for (pass, threads) in [("serial", 1usize), ("parallel", args.threads)] {
+        mobilenet_par::set_thread_override(Some(threads));
+        println!("-- {pass} pass ({threads} thread{})", if threads == 1 { "" } else { "s" });
+        let sink = if pass == "serial" { &mut serial_s } else { &mut parallel_s };
+
+        // Stage 1: demand evaluation (noise-free expected cube, parallel
+        // over services).
+        let (t, expected) = timed(|| model.expected_dataset());
+        println!("   generation   {t:>8.2}s");
+        sink.push(t);
+
+        // Stage 2: full measurement pipeline (sessions -> probes -> DPI ->
+        // aggregation, parallel over per-service shards).
+        let (t, output) = timed(|| collect(&model, &config.netsim, args.seed));
+        println!("   aggregation  {t:>8.2}s");
+        sink.push(t);
+
+        let study = Study::from_parts(model.clone(), output);
+
+        // Stage 3: Figure 10 pairwise r^2 matrix (parallel over service
+        // pairs).
+        let (t, corr) = timed(|| spatial_correlation(&study, Direction::Down));
+        println!("   pairwise_r2  {t:>8.2}s");
+        sink.push(t);
+
+        // Stage 4: Figure 5 k-shape sweep (parallel over k).
+        let (t, sweep) = timed(|| clustering_sweep(&study, Direction::Down, Algorithm::KShape, 5));
+        println!("   kshape_sweep {t:>8.2}s");
+        sink.push(t);
+
+        // Stage 5: Figures 6-7 peak profiling (parallel over services).
+        let (t, profiles) = timed(|| topical_profiles(&study, Direction::Down, &PeakConfig::paper()));
+        println!("   peaks        {t:>8.2}s");
+        sink.push(t);
+
+        // Cheap digest of every stage's output; serial and parallel passes
+        // must agree exactly.
+        let digest = format!(
+            "{:x}-{}-{}-{}-{}",
+            expected.national_series(Direction::Down, 0)[0].to_bits()
+                ^ study.dataset().national_series(Direction::Down, 0)[0].to_bits(),
+            corr.mean_r2.to_bits(),
+            sweep.best_k_by_silhouette(),
+            profiles.iter().filter(|p| p.has_peak.iter().any(|&b| b)).count(),
+            study.dataset().to_csv().len(),
+        );
+        digests.push(digest);
+    }
+    mobilenet_par::set_thread_override(None);
+    assert_eq!(
+        digests[0], digests[1],
+        "parallel pass diverged from serial pass — determinism bug"
+    );
+    println!("-- output digests match: {}", digests[0]);
+
+    let mut stages_json = String::new();
+    for (i, name) in stage_names.iter().enumerate() {
+        let speedup = if parallel_s[i] > 0.0 { serial_s[i] / parallel_s[i] } else { 0.0 };
+        stages_json.push_str(&format!(
+            "    {{ \"stage\": \"{name}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}, \"speedup\": {:.2} }}{}\n",
+            serial_s[i],
+            parallel_s[i],
+            speedup,
+            if i + 1 < stage_names.len() { "," } else { "" }
+        ));
+    }
+    let total_serial: f64 = serial_s.iter().sum();
+    let total_parallel: f64 = parallel_s.iter().sum();
+    let json = format!(
+        "{{\n  \"schema\": \"mobilenet-bench-baseline/v1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"machine_parallelism\": {},\n  \"stages\": [\n{}  ],\n  \"total_serial_s\": {:.4},\n  \"total_parallel_s\": {:.4},\n  \"total_speedup\": {:.2}\n}}\n",
+        args.scale,
+        args.seed,
+        args.threads,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        stages_json,
+        total_serial,
+        total_parallel,
+        if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 },
+    );
+    fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out.display()));
+    println!("baseline written to {}", args.out.display());
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures [--scale small|medium|france] [--seed N] [--out DIR] [--expected]
+//!         [--threads N]
 //! ```
 //!
 //! Writes one CSV (or PGM/text) file per figure under `DIR` (default
@@ -36,7 +37,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         scale: "medium".to_string(),
-        seed: 2016_09_24,
+        seed: mobilenet_bench::SEED,
         out: PathBuf::from("out"),
         expected: false,
     };
@@ -53,6 +54,15 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--expected" => args.expected = true,
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads must be a positive integer");
+                assert!(n >= 1, "--threads must be at least 1");
+                mobilenet_par::set_thread_override(Some(n));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -83,7 +93,13 @@ fn main() {
     }
     fs::create_dir_all(&args.out).expect("creating output directory");
 
-    println!("generating {} study (seed {})...", args.scale, args.seed);
+    println!(
+        "generating {} study (seed {}, {} worker thread{})...",
+        args.scale,
+        args.seed,
+        mobilenet_par::current_threads(),
+        if mobilenet_par::current_threads() == 1 { "" } else { "s" }
+    );
     let t0 = Instant::now();
     let study = Study::generate(&config, args.seed);
     println!("  done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -12,6 +12,8 @@ use std::sync::OnceLock;
 use mobilenet_core::study::{Study, StudyConfig};
 
 /// The benchmark seed: fixed so numbers are comparable across runs.
+/// The grouping spells the measurement week's start date, 2016-09-24.
+#[allow(clippy::inconsistent_digit_grouping)]
 pub const SEED: u64 = 2016_09_24;
 
 /// A small (1,000-commune) measured study, built once.

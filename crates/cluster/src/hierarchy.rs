@@ -66,7 +66,7 @@ impl Dendrogram {
         assert!(k >= 1 && k <= self.n, "k must be in 1..=n");
         // Union-find over the first n - k merges.
         let mut parent: Vec<usize> = (0..2 * self.n - 1).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

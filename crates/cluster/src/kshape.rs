@@ -40,7 +40,11 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     let z: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6b73_6861_7065_3031); // "kshape01"
-    let mut assignments: Vec<usize> = (0..n).map(|i| if i < k { i } else { rng.gen_range(0..k) }).collect();
+    // Fully random initial assignment, as in the original algorithm; the
+    // empty-cluster repair below guarantees every cluster ends populated.
+    // (Forcing a deterministic prefix split here would make restarts
+    // near-identical and defeat the best-of-restarts search.)
+    let mut assignments: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
     let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
 
     let mut iterations = 0;
@@ -49,7 +53,7 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
         iterations = iter + 1;
 
         // Refinement.
-        for c in 0..k {
+        for (c, centroid) in centroids.iter_mut().enumerate() {
             let members: Vec<&[f64]> = assignments
                 .iter()
                 .zip(z.iter())
@@ -59,7 +63,7 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
             if members.is_empty() {
                 continue; // handled after assignment
             }
-            centroids[c] = shape_extraction(&members, &centroids[c]);
+            *centroid = shape_extraction(&members, centroid);
         }
 
         // Assignment.
@@ -175,11 +179,11 @@ fn center_both_sides(s: &SquareMatrix) -> SquareMatrix {
     let mut row_mean = vec![0.0; m];
     let mut col_mean = vec![0.0; m];
     let mut grand = 0.0;
-    for i in 0..m {
-        for j in 0..m {
+    for (i, rm) in row_mean.iter_mut().enumerate() {
+        for (j, cm) in col_mean.iter_mut().enumerate() {
             let v = s.get(i, j);
-            row_mean[i] += v;
-            col_mean[j] += v;
+            *rm += v;
+            *cm += v;
             grand += v;
         }
     }
@@ -191,9 +195,9 @@ fn center_both_sides(s: &SquareMatrix) -> SquareMatrix {
     }
     grand /= mf * mf;
     let mut out = SquareMatrix::zeros(m);
-    for i in 0..m {
-        for j in 0..m {
-            out.set(i, j, s.get(i, j) - row_mean[i] - col_mean[j] + grand);
+    for (i, &rm) in row_mean.iter().enumerate() {
+        for (j, &cm) in col_mean.iter().enumerate() {
+            out.set(i, j, s.get(i, j) - rm - cm + grand);
         }
     }
     out

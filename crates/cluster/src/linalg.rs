@@ -55,13 +55,13 @@ impl SquareMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.n..(i + 1) * self.n];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -95,9 +95,7 @@ pub fn dominant_eigenpair(m: &SquareMatrix, max_iter: usize, tol: f64) -> Option
     for _ in 0..max_iter {
         let mut w = m.mul_vec(&v);
         let new_lambda = dot(&v, &w);
-        if normalize(&mut w).is_none() {
-            return None; // matrix annihilated the vector
-        }
+        normalize(&mut w)?; // None: the matrix annihilated the vector
         let delta = (new_lambda - lambda).abs();
         v = w;
         lambda = new_lambda;
@@ -168,10 +166,10 @@ mod tests {
         let e = dominant_eigenpair(&m, 200, 1e-12).unwrap();
         assert!((e.value - 9.0).abs() < 1e-9);
         let norm_u = 3.0;
-        for i in 0..3 {
+        for (i, &ui) in u.iter().enumerate() {
             // Up to a global sign.
             assert!(
-                (e.vector[i].abs() - (u[i] / norm_u).abs()).abs() < 1e-6,
+                (e.vector[i].abs() - (ui / norm_u).abs()).abs() < 1e-6,
                 "component {i}"
             );
         }

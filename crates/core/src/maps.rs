@@ -184,8 +184,8 @@ mod tests {
         // All values in {0, 1, 2}.
         assert!(grid.cells.iter().all(|v| *v == 0.0 || *v == 1.0 || *v == 2.0));
         // 4G present somewhere, and 3G-only areas exist too.
-        assert!(grid.cells.iter().any(|v| *v == 2.0));
-        assert!(grid.cells.iter().any(|v| *v == 1.0));
+        assert!(grid.cells.contains(&2.0));
+        assert!(grid.cells.contains(&1.0));
     }
 
     #[test]

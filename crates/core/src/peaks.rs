@@ -212,8 +212,8 @@ mod tests {
         // does not fully absorb into the baseline, so the second still
         // registers relative to a sane baseline.
         let mut series = bumpy(60, 20, 3.0);
-        for i in 30..33 {
-            series[i] += 3.0;
+        for v in &mut series[30..33] {
+            *v += 3.0;
         }
         let det = detect_peaks(&series, &PeakConfig::paper());
         let fronts = det.rising_fronts();
@@ -242,8 +242,8 @@ mod tests {
     #[test]
     fn higher_threshold_detects_fewer_peaks() {
         let mut series = bumpy(100, 20, 0.4);
-        for i in 60..63 {
-            series[i] += 2.0;
+        for v in &mut series[60..63] {
+            *v += 2.0;
         }
         let lax = detect_peaks(&series, &PeakConfig { threshold: 2.0, ..PeakConfig::paper() });
         let strict =

@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn ranking_is_normalized_and_sorted() {
         let s = study();
-        let z = zipf_ranking(&s);
+        let z = zipf_ranking(s);
         assert!((z.dl_normalized.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         for w in z.dl_normalized.windows(2) {
             assert!(w[0] >= w[1]);
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn zipf_exponents_are_near_the_papers() {
         let s = study();
-        let z = zipf_ranking(&s);
+        let z = zipf_ranking(s);
         let dl = z.dl_fit.expect("downlink fit");
         let ul = z.ul_fit.expect("uplink fit");
         // Paper: −1.69 downlink, −1.55 uplink. The synthetic catalog
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn video_dominates_downlink_shares() {
         let s = study();
-        let r = service_ranking(&s, Direction::Down);
+        let r = service_ranking(s, Direction::Down);
         let video = r.category_shares.get("video streaming").copied().unwrap_or(0.0);
         // Paper: ≈ 46% of total downlink.
         assert!(video > 0.30 && video < 0.75, "video share {video}");
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn social_or_messaging_tops_uplink() {
         let s = study();
-        let r = service_ranking(&s, Direction::Up);
+        let r = service_ranking(s, Direction::Up);
         let top = &r.services[0];
         assert!(
             matches!(top.category, Category::SocialNetwork | Category::Messaging),
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn head_share_is_large_and_unclassified_near_twelve_percent() {
         let s = study();
-        let r = service_ranking(&s, Direction::Down);
+        let r = service_ranking(s, Direction::Down);
         assert!(r.head_share > 0.6, "head share {}", r.head_share);
         assert!(
             (r.unclassified_share - 0.12).abs() < 0.03,
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn uplink_is_a_small_fraction() {
         let s = study();
-        let f = uplink_fraction(&s);
+        let f = uplink_fraction(s);
         // Paper: less than one twentieth.
         assert!(f < 0.08, "uplink fraction {f}");
         assert!(f > 0.01, "uplink should not vanish: {f}");
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn shares_sum_close_to_classified_share() {
         let s = study();
-        let r = service_ranking(&s, Direction::Down);
+        let r = service_ranking(s, Direction::Down);
         let sum: f64 = r.services.iter().map(|x| x.share_of_total).sum();
         assert!((sum - r.head_share).abs() < 1e-12);
         let cat_sum: f64 = r.category_shares.values().sum();

@@ -105,15 +105,17 @@ pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation 
         })
         .collect();
 
+    // The O(S²·C) pairwise block, parallelized over the upper-triangle
+    // pair list; results come back in pair order, so matrix and CDF are
+    // identical at any thread count.
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
+    let pair_values =
+        mobilenet_par::par_map(&pairs, |&(i, j)| r_squared(&vectors[i], &vectors[j]));
     let mut matrix = vec![vec![1.0; n]; n];
-    let mut pair_values = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let r2 = r_squared(&vectors[i], &vectors[j]);
-            matrix[i][j] = r2;
-            matrix[j][i] = r2;
-            pair_values.push(r2);
-        }
+    for (&(i, j), &r2) in pairs.iter().zip(pair_values.iter()) {
+        matrix[i][j] = r2;
+        matrix[j][i] = r2;
     }
     let mean_r2 = pair_values.iter().sum::<f64>() / pair_values.len().max(1) as f64;
     SpatialCorrelation {

@@ -136,8 +136,11 @@ pub fn sweep_series(
             .sqrt()
     };
 
-    let mut points = Vec::new();
-    for k in 2..series.len() {
+    // Every k of the sweep is independent (restarts are seeded by restart
+    // index, not by a shared stream), so the k axis parallelizes with no
+    // effect on the output.
+    let ks: Vec<usize> = (2..series.len()).collect();
+    let points = mobilenet_par::par_map(&ks, |&k| {
         let mut best: Option<(f64, Clustering)> = None;
         for restart in 0..restarts.max(1) {
             let clustering = match algorithm {
@@ -172,8 +175,8 @@ pub fn sweep_series(
                 silhouette: silhouette(&z, &clustering, euclid),
             },
         };
-        points.push(SweepPoint { k, scores, clustering });
-    }
+        SweepPoint { k, scores, clustering }
+    });
     ClusteringSweep { direction: dir, algorithm, points }
 }
 

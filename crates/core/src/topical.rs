@@ -137,12 +137,12 @@ fn classify_front(series: &[f64], peak: &PeakInterval) -> Option<TopicalTime> {
         let topical = t.hour_of_day();
         if topical >= hod {
             let d = topical - hod;
-            if d <= slack_for(t) && ahead.map_or(true, |(bd, _)| d < bd) {
+            if d <= slack_for(t) && ahead.is_none_or(|(bd, _)| d < bd) {
                 ahead = Some((d, t));
             }
         } else {
             let d = hod - topical;
-            if d <= slack_for(t) && behind.map_or(true, |(bd, _)| d < bd) {
+            if d <= slack_for(t) && behind.is_none_or(|(bd, _)| d < bd) {
                 behind = Some((d, t));
             }
         }
@@ -172,16 +172,13 @@ pub fn topical_profiles(
     dir: Direction,
     config: &PeakConfig,
 ) -> Vec<ServiceTopicalProfile> {
-    study
-        .catalog()
-        .head()
-        .iter()
-        .enumerate()
-        .map(|(s, spec)| {
-            let series = study.dataset().national_series(dir, s);
-            profile_service(series, s, spec.name, config)
-        })
-        .collect()
+    // Profiling is a pure function of each service's own series, so the
+    // ~catalog-sized loop parallelizes service-by-service.
+    let head = study.catalog().head();
+    mobilenet_par::par_map_collect(head.len(), |s| {
+        let series = study.dataset().national_series(dir, s);
+        profile_service(series, s, head[s].name, config)
+    })
 }
 
 #[cfg(test)]

@@ -76,8 +76,8 @@ pub fn urbanization_profiles(study: &Study, dir: Direction) -> Vec<UrbanizationP
 pub fn mean_volume_ratios(profiles: &[UrbanizationProfile]) -> [f64; 4] {
     let mut sums = [0.0; 4];
     for p in profiles {
-        for i in 0..4 {
-            sums[i] += p.volume_ratio[i];
+        for (s, v) in sums.iter_mut().zip(p.volume_ratio.iter()) {
+            *s += v;
         }
     }
     for s in sums.iter_mut() {
@@ -90,8 +90,8 @@ pub fn mean_volume_ratios(profiles: &[UrbanizationProfile]) -> [f64; 4] {
 pub fn mean_temporal_r2(profiles: &[UrbanizationProfile]) -> [f64; 4] {
     let mut sums = [0.0; 4];
     for p in profiles {
-        for i in 0..4 {
-            sums[i] += p.temporal_r2[i];
+        for (s, v) in sums.iter_mut().zip(p.temporal_r2.iter()) {
+            *s += v;
         }
     }
     for s in sums.iter_mut() {

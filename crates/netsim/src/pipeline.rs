@@ -5,6 +5,12 @@
 //! consumes, together with [`CollectionStats`] quantifying the artefacts
 //! the apparatus introduces (classification loss, localization error,
 //! commune misassignment).
+//!
+//! Collection is sharded per service: each shard samples its sessions and
+//! probe noise from seed-derived RNG streams ([`mobilenet_par::seed_for`])
+//! and aggregates into a partial dataset, and the partials are merged in
+//! shard order. Output is therefore bit-identical at any thread count,
+//! including a serial run.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,11 +41,27 @@ pub struct CollectionStats {
     pub misassigned_sessions: u64,
     /// Sessions with a stale ULI fix.
     pub stale_fixes: u64,
-    /// Sampled localization errors, km (every 16th session).
+    /// Sampled localization errors, km (every 16th session of each shard).
     pub sampled_errors_km: Vec<f64>,
 }
 
 impl CollectionStats {
+    /// Folds another run's (or shard's) diagnostics into this one.
+    ///
+    /// The parallel pipeline merges per-shard partials **in shard order**,
+    /// so the floating-point accumulation order — and with it every
+    /// derived statistic — is independent of the thread count.
+    pub fn merge(&mut self, other: &CollectionStats) {
+        self.sessions += other.sessions;
+        self.gn_records += other.gn_records;
+        self.s5s8_records += other.s5s8_records;
+        self.classified_mb += other.classified_mb;
+        self.unclassified_mb += other.unclassified_mb;
+        self.misassigned_sessions += other.misassigned_sessions;
+        self.stale_fixes += other.stale_fixes;
+        self.sampled_errors_km.extend_from_slice(&other.sampled_errors_km);
+    }
+
     /// Fraction of the volume the classifier attributed to a service.
     pub fn classification_rate(&self) -> f64 {
         let total = self.classified_mb + self.unclassified_mb;
@@ -76,22 +98,23 @@ pub struct CollectionOutput {
     pub stats: CollectionStats,
 }
 
-/// Runs the full measurement pipeline over one week of synthetic demand.
-///
-/// `seed` drives session sampling, localization noise and classification
-/// loss; runs are fully deterministic in `(model, config, seed)`.
-pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
-    config.validate().expect("invalid NetsimConfig");
+/// Builds the read-only capture apparatus of a run: radio network, DPI
+/// tables, and the per-commune ULI movement directions (train passengers'
+/// fixes displace along the rail; everyone else scatters isotropically).
+/// Shared by [`collect`] and the trace capture path so both observe the
+/// exact same records.
+pub(crate) fn build_capture(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    seed: u64,
+) -> (RadioNetwork, DpiClassifier, Vec<Option<(f64, f64)>>) {
     let country = model.country();
-    let catalog = model.catalog();
     let radio = RadioNetwork::deploy(country, config, seed ^ 0x7261_6469_6f00_0001);
     let classifier = DpiClassifier::new(
-        catalog.head().len(),
-        catalog.tail_len(),
+        model.catalog().head().len(),
+        model.catalog().tail_len(),
         model.config().classified_fraction,
     );
-    // Train passengers' ULI displaces along the rail; everyone else
-    // scatters isotropically.
     let directions: Vec<Option<(f64, f64)>> = country
         .communes()
         .iter()
@@ -103,76 +126,116 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
             }
         })
         .collect();
+    (radio, classifier, directions)
+}
+
+/// The probe-noise RNG of one shard: like session sampling, probe noise is
+/// a per-shard stream derived from the master seed, so a shard's records
+/// are identical wherever and whenever the shard runs.
+pub(crate) fn probe_shard_rng(seed: u64, shard: usize) -> StdRng {
+    StdRng::seed_from_u64(mobilenet_par::seed_for(
+        seed ^ 0x7072_6f62_6572_6e67, // "proberng"
+        shard as u64,
+    ))
+}
+
+/// Runs the full measurement pipeline over one week of synthetic demand.
+///
+/// `seed` drives session sampling, localization noise and classification
+/// loss; runs are fully deterministic in `(model, config, seed)` — and,
+/// because per-service shards draw from derived RNG streams and merge in
+/// shard order, independent of `MOBILENET_THREADS`.
+pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
+    config.validate().expect("invalid NetsimConfig");
+    let country = model.country();
+    let catalog = model.catalog();
+    let (radio, classifier, directions) = build_capture(model, config, seed);
     let probe = Probe::new(&radio, UliModel::new(config), &classifier)
         .with_movement_directions(directions);
+    let generator = SessionGenerator::new(model, seed);
+    let new_dataset = || {
+        TrafficDataset::new(
+            country,
+            catalog.head().len(),
+            catalog.tail_len(),
+            model.config().subscriber_share,
+        )
+    };
 
-    let mut dataset = TrafficDataset::new(
-        country,
-        catalog.head().len(),
-        catalog.tail_len(),
-        model.config().subscriber_share,
-    );
-    let mut stats = CollectionStats::default();
-    let mut probe_rng = StdRng::seed_from_u64(seed ^ 0x7072_6f62_6572_6e67); // "proberng"
-
-    let mut generator = SessionGenerator::new(model, seed);
-    generator.generate(|session| {
-        let record = probe.observe(session, &mut probe_rng);
-        stats.sessions += 1;
-        match record.interface {
-            Interface::Gn => stats.gn_records += 1,
-            Interface::S5S8 => stats.s5s8_records += 1,
-        }
-        if record.stale_uli {
-            stats.stale_fixes += 1;
-        }
-        if record.commune != session.commune {
-            stats.misassigned_sessions += 1;
-        }
-        if stats.sessions % 16 == 0 {
-            // Localization error: distance between the true position and
-            // the centroid of the commune the record was binned into is a
-            // commune-level proxy; sample the fix-level error instead via
-            // the true/recorded commune centroids' scale. We keep the
-            // direct definition: distance from the true position to the
-            // recorded commune's centroid.
-            let recorded = country.commune(record.commune);
-            stats
-                .sampled_errors_km
-                .push(session.position.distance(&recorded.centroid));
-        }
-        match classifier.classify(record.signature) {
-            ServiceLabel::Head(s) => {
-                stats.classified_mb += record.dl_mb + record.ul_mb;
-                dataset.add(
-                    Direction::Down,
-                    s as usize,
-                    record.commune,
-                    record.start_hour as usize,
-                    record.dl_mb,
-                );
-                dataset.add(
-                    Direction::Up,
-                    s as usize,
-                    record.commune,
-                    record.start_hour as usize,
-                    record.ul_mb,
-                );
+    // One partial (dataset, stats) per service shard.
+    let partials = mobilenet_par::par_map_collect(generator.shards(), |shard| {
+        let mut dataset = new_dataset();
+        let mut stats = CollectionStats::default();
+        let mut probe_rng = probe_shard_rng(seed, shard);
+        generator.generate_shard(shard, |session| {
+            let record = probe.observe(session, &mut probe_rng);
+            stats.sessions += 1;
+            match record.interface {
+                Interface::Gn => stats.gn_records += 1,
+                Interface::S5S8 => stats.s5s8_records += 1,
             }
-            ServiceLabel::Tail(t) => {
-                // Tail sessions are not generated by the session sampler;
-                // reaching this arm would indicate a fingerprint collision.
-                stats.classified_mb += record.dl_mb + record.ul_mb;
-                dataset.add_tail(Direction::Down, t as usize, record.dl_mb);
-                dataset.add_tail(Direction::Up, t as usize, record.ul_mb);
+            if record.stale_uli {
+                stats.stale_fixes += 1;
             }
-            ServiceLabel::Unclassified => {
-                stats.unclassified_mb += record.dl_mb + record.ul_mb;
-                dataset.add_unclassified(Direction::Down, record.dl_mb);
-                dataset.add_unclassified(Direction::Up, record.ul_mb);
+            if record.commune != session.commune {
+                stats.misassigned_sessions += 1;
             }
-        }
+            if stats.sessions % 16 == 0 {
+                // Localization error: distance between the true position
+                // and the centroid of the commune the record was binned
+                // into is a commune-level proxy; sample the fix-level
+                // error instead via the true/recorded commune centroids'
+                // scale. We keep the direct definition: distance from the
+                // true position to the recorded commune's centroid.
+                let recorded = country.commune(record.commune);
+                stats
+                    .sampled_errors_km
+                    .push(session.position.distance(&recorded.centroid));
+            }
+            match classifier.classify(record.signature) {
+                ServiceLabel::Head(s) => {
+                    stats.classified_mb += record.dl_mb + record.ul_mb;
+                    dataset.add(
+                        Direction::Down,
+                        s as usize,
+                        record.commune,
+                        record.start_hour as usize,
+                        record.dl_mb,
+                    );
+                    dataset.add(
+                        Direction::Up,
+                        s as usize,
+                        record.commune,
+                        record.start_hour as usize,
+                        record.ul_mb,
+                    );
+                }
+                ServiceLabel::Tail(t) => {
+                    // Tail sessions are not generated by the session
+                    // sampler; reaching this arm would indicate a
+                    // fingerprint collision.
+                    stats.classified_mb += record.dl_mb + record.ul_mb;
+                    dataset.add_tail(Direction::Down, t as usize, record.dl_mb);
+                    dataset.add_tail(Direction::Up, t as usize, record.ul_mb);
+                }
+                ServiceLabel::Unclassified => {
+                    stats.unclassified_mb += record.dl_mb + record.ul_mb;
+                    dataset.add_unclassified(Direction::Down, record.dl_mb);
+                    dataset.add_unclassified(Direction::Up, record.ul_mb);
+                }
+            }
+        });
+        (dataset, stats)
     });
+
+    // Deterministic reduction: always in shard order, regardless of which
+    // worker finished first.
+    let mut dataset = new_dataset();
+    let mut stats = CollectionStats::default();
+    for (partial_dataset, partial_stats) in &partials {
+        dataset.merge(partial_dataset);
+        stats.merge(partial_stats);
+    }
 
     // Tail services: their national weekly totals come straight from the
     // demand model (they carry no spatial structure the analyses use).

@@ -201,7 +201,7 @@ mod tests {
         let (_, net) = network();
         let n = net.routing_area_count();
         // 160 km plane with 40 km cells → at most ~16 populated areas.
-        assert!(n >= 4 && n <= 32, "{n} routing areas");
+        assert!((4..=32).contains(&n), "{n} routing areas");
         for s in net.stations().iter().take(100) {
             let centroid = net.routing_area_centroid(s.routing_area);
             assert!(s.position.distance(&centroid) < 80.0);

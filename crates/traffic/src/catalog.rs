@@ -255,12 +255,16 @@ fn tail_volumes(n_tail: usize, head_len: usize, v_anchor: f64, s: f64) -> Vec<f6
 /// peaks vary, the "student" services add a morning-break peak); spatial
 /// profiles follow Figures 9–11 (typical urbanization scaling everywhere,
 /// Netflix high-end, iCloud uniform, Adult avoiding TGV).
+/// One row of the head-service table: name, category, weekly DL volume,
+/// uplink ratio, mean session size, peak palette, spatial profile.
+type HeadRow = (&'static str, Category, f64, f64, f64, Vec<PeakSpec>, SpatialProfile);
+
 fn head_services() -> Vec<ServiceSpec> {
     use Category::*;
     use TopicalTime::*;
 
     let t = SpatialProfile::typical;
-    let table: Vec<(&'static str, Category, f64, f64, f64, Vec<PeakSpec>, SpatialProfile)> = vec![
+    let table: Vec<HeadRow> = vec![
         (
             "YouTube",
             VideoStreaming,

@@ -249,16 +249,19 @@ impl DemandModel {
     /// Evaluates the expectation of the whole dataset, without sampling
     /// noise and without the collection pipeline (no classification loss,
     /// no localization error).
+    ///
+    /// Evaluation is parallelized per service: each service fills its own
+    /// partial dataset (the cells of different services are disjoint) and
+    /// the partials are merged in service order, so the result is
+    /// bit-identical at any thread count.
     pub fn expected_dataset(&self) -> TrafficDataset {
         let n_services = self.catalog.head().len();
         let n_tail = self.catalog.tail_len();
-        let mut ds = TrafficDataset::new(
-            &self.country,
-            n_services,
-            n_tail,
-            self.config.subscriber_share,
-        );
-        for s in 0..n_services {
+        let new_dataset = || {
+            TrafficDataset::new(&self.country, n_services, n_tail, self.config.subscriber_share)
+        };
+        let partials = mobilenet_par::par_map_collect(n_services, |s| {
+            let mut ds = new_dataset();
             for (ci, commune) in self.country.communes().iter().enumerate() {
                 let dl = self.weekly_dl_mb(s, ci);
                 if dl <= 0.0 {
@@ -276,6 +279,11 @@ impl DemandModel {
                     ds.add(Direction::Up, s, commune.id, h, ul_base * w);
                 }
             }
+            ds
+        });
+        let mut ds = new_dataset();
+        for partial in &partials {
+            ds.merge(partial);
         }
         self.fill_tail(&mut ds);
         ds

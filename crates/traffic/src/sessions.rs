@@ -54,9 +54,15 @@ pub struct Session {
 }
 
 /// Seeded sampler of sessions from a demand model.
+///
+/// Generation is sharded **per service**: shard `s` covers service `s`
+/// over every commune and draws from its own RNG stream, derived from the
+/// master seed with [`mobilenet_par::seed_for`]. A shard's sessions are
+/// therefore identical no matter which thread runs it or in what order —
+/// the property the parallel collection pipeline builds on.
 pub struct SessionGenerator<'a> {
     model: &'a DemandModel,
-    rng: StdRng,
+    seed: u64,
     /// Per-service hour samplers for the national profile.
     national_hours: Vec<Categorical>,
     /// Per-service hour samplers for the TGV-blend profile.
@@ -98,40 +104,55 @@ impl<'a> SessionGenerator<'a> {
         };
         SessionGenerator {
             model,
-            rng: StdRng::seed_from_u64(seed ^ 0x7365_7373_696f_6e73), // "sessions"
+            seed: seed ^ 0x7365_7373_696f_6e73, // "sessions"
             national_hours,
             tgv_hours,
             mobility,
         }
     }
 
+    /// Number of independent shards generation splits into (one per head
+    /// service).
+    pub fn shards(&self) -> usize {
+        self.model.catalog().head().len()
+    }
+
     /// Generates every session of the measurement week, invoking `sink` for
-    /// each. Sessions are produced commune-major, service-minor; the order
-    /// is deterministic in the seed.
+    /// each. Sessions are produced service-major, commune-minor — shard
+    /// order — and each shard draws from its own seed-derived RNG stream,
+    /// so the serial order here matches a per-shard parallel run exactly.
     ///
     /// Returns the number of sessions generated.
-    pub fn generate(&mut self, mut sink: impl FnMut(&Session)) -> u64 {
-        let n_services = self.model.catalog().head().len();
+    pub fn generate(&self, mut sink: impl FnMut(&Session)) -> u64 {
+        (0..self.shards()).map(|shard| self.generate_shard(shard, &mut sink)).sum()
+    }
+
+    /// Generates one shard — service `shard` over every commune — from the
+    /// shard's own RNG stream. Safe to call from any thread, in any order;
+    /// the shard's output depends only on `(model, seed, shard)`.
+    ///
+    /// Returns the number of sessions generated.
+    pub fn generate_shard(&self, shard: usize, mut sink: impl FnMut(&Session)) -> u64 {
+        assert!(shard < self.shards(), "shard {shard} out of range");
+        let mut rng =
+            StdRng::seed_from_u64(mobilenet_par::seed_for(self.seed, shard as u64));
         let n_communes = self.model.country().communes().len();
         let mut count = 0u64;
         for ci in 0..n_communes {
-            for s in 0..n_services {
-                count += self.generate_pair(s, ci, &mut sink);
-            }
+            count += self.generate_pair(shard, ci, &mut rng, &mut sink);
         }
         count
     }
 
     /// Generates the sessions of one `(service, commune)` pair.
     fn generate_pair(
-        &mut self,
+        &self,
         service: usize,
         commune: usize,
+        rng: &mut StdRng,
         sink: &mut impl FnMut(&Session),
     ) -> u64 {
-        // Destructure so the RNG and the hour samplers can be borrowed
-        // simultaneously.
-        let Self { model, rng, national_hours, tgv_hours, mobility } = self;
+        let Self { model, national_hours, tgv_hours, mobility, .. } = self;
         let model = *model;
         let cfg = model.config();
         let spec = &model.catalog().head()[service];
@@ -260,15 +281,14 @@ mod tests {
     fn sampled_totals_converge_to_expectation() {
         let m = model();
         let expected = m.expected_dataset();
-        let mut dl_by_service = vec![0.0f64; 20];
+        let mut dl_by_service = [0.0f64; 20];
         SessionGenerator::new(&m, 7).generate(|s| {
             dl_by_service[s.service as usize] += s.dl_mb;
         });
         // Compare the largest services (enough sessions for a tight CLT
         // bound even with fast-config thinning).
-        for s in 0..3 {
+        for (s, &got) in dl_by_service.iter().enumerate().take(3) {
             let want = expected.national_weekly(Direction::Down, s);
-            let got = dl_by_service[s];
             let err = (got - want).abs() / want;
             assert!(err < 0.15, "service {s}: got {got}, want {want} (err {err:.3})");
         }

@@ -10,6 +10,10 @@
 //! ```
 //!
 //! Scales: `small` (1k communes), `medium` (6k), `france` (36k).
+//!
+//! Every command also accepts `--threads N` to pin the worker count of the
+//! parallel pipeline stages (default: `MOBILENET_THREADS` or all cores);
+//! the output is identical at any thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,7 +40,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
          [--scale small|medium|france] [--seed N] [--uplink] \
-         [--service NAME] [--width W] [--out FILE]"
+         [--service NAME] [--width W] [--out FILE] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +54,8 @@ fn parse() -> Result<Args, ExitCode> {
     let mut args = Args {
         command,
         scale: "small".into(),
+        // The grouping spells the measurement week's start date.
+        #[allow(clippy::inconsistent_digit_grouping)]
         seed: 2016_09_24,
         uplink: false,
         service: "Twitter".into(),
@@ -76,6 +82,17 @@ fn parse() -> Result<Args, ExitCode> {
                     .map_err(|_| usage())?
             }
             "--out" => args.out = Some(PathBuf::from(argv.next().ok_or_else(usage)?)),
+            "--threads" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+                if n == 0 {
+                    return Err(usage());
+                }
+                mobilenet::par::set_thread_override(Some(n));
+            }
             _ => return Err(usage()),
         }
     }

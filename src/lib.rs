@@ -17,7 +17,9 @@
 //!   commune aggregation;
 //! * [`timeseries`] — FFT, shape-based distance, statistics;
 //! * [`cluster`] — k-shape, k-means, cluster-quality indices;
-//! * [`core`] — the paper's analyses and figure pipeline.
+//! * [`core`] — the paper's analyses and figure pipeline;
+//! * [`par`] — the deterministic parallel execution layer (ordered
+//!   scoped-thread map/reduce, `MOBILENET_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -39,5 +41,6 @@ pub use mobilenet_cluster as cluster;
 pub use mobilenet_core as core;
 pub use mobilenet_geo as geo;
 pub use mobilenet_netsim as netsim;
+pub use mobilenet_par as par;
 pub use mobilenet_timeseries as timeseries;
 pub use mobilenet_traffic as traffic;

@@ -10,6 +10,7 @@ use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::verdict::{evaluate, verdict_table};
 
 #[test]
+#[allow(clippy::inconsistent_digit_grouping)] // the seed spells 2016-09-24
 fn all_paper_claims_hold_at_figure_scale() {
     let study = Study::generate(&StudyConfig::medium(), 2016_09_24);
     let claims = evaluate(&study);
