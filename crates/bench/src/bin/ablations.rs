@@ -25,9 +25,10 @@ use std::sync::Arc;
 use mobilenet_core::peaks::PeakConfig;
 use mobilenet_core::ranking::service_ranking;
 use mobilenet_core::spatial::{concentration, spatial_correlation};
-use mobilenet_core::study::{Study, StudyConfig};
+use mobilenet_core::study::Study;
 use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
+use mobilenet_core::Pipeline;
 use mobilenet_geo::{Country, CountryConfig};
 use mobilenet_netsim::{collect, NetsimConfig};
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog, TopicalTime, TrafficConfig};
@@ -47,6 +48,13 @@ fn main() {
     kshape_vs_kmeans(seed);
     hierarchical_check(seed);
     mobility_sweep(seed);
+}
+
+/// A small measured study at `seed`, assembled through the pipeline
+/// builder (the ablation sweeps each re-collect their own variants via
+/// [`Study::from_parts`]).
+fn small_study(seed: u64) -> Study {
+    Pipeline::builder().seed(seed).run().expect("small config is valid").into_study()
 }
 
 /// Ablation 1: ULI localization error vs spatial statistics.
@@ -122,7 +130,7 @@ fn classification_sweep(seed: u64) {
 fn detector_sweep(seed: u64) {
     println!("== ablation 3: peak-detector parameters ==");
     println!("lag  threshold  influence  midday_peaks  off_topical");
-    let study = Study::generate(&StudyConfig::small(), seed);
+    let study = small_study(seed);
     let configs = [
         PeakConfig { lag: 2, threshold: 3.0, influence: 0.4 }, // the paper's
         PeakConfig { lag: 2, threshold: 2.0, influence: 0.4 },
@@ -151,7 +159,7 @@ fn detector_sweep(seed: u64) {
 fn kshape_vs_kmeans(seed: u64) {
     println!("== ablation 4: k-shape vs k-means ==");
     println!("algorithm  best_k_sil  silhouette  db  decreasing_frac");
-    let study = Study::generate(&StudyConfig::small(), seed);
+    let study = small_study(seed);
     for algorithm in [Algorithm::KShape, Algorithm::KMeans] {
         let sweep = clustering_sweep(&study, Direction::Down, algorithm, 3);
         let best = sweep
@@ -216,7 +224,7 @@ fn hierarchical_check(seed: u64) {
 
     println!("== ablation 5: agglomerative clustering (SBD, per linkage) ==");
     println!("linkage   best_k  silhouette");
-    let study = Study::generate(&StudyConfig::small(), seed);
+    let study = small_study(seed);
     let series: Vec<Vec<f64>> = (0..study.catalog().head().len())
         .map(|s| z_normalize(study.dataset().national_series(Direction::Down, s)))
         .collect();

@@ -8,24 +8,32 @@
 //!
 //! Every stage is the same computation the `figures` binary runs; the
 //! parallel pass must produce bit-identical results (asserted here via
-//! the dataset CSV), so the timings compare *only* scheduling.
+//! the dataset CSV) *and* an identical observability fingerprint, so the
+//! timings compare only scheduling. Timings are read from the
+//! `mobilenet-obs` span registry — the same probes every binary reports —
+//! and the parallel pass's full snapshot is embedded under the `"obs"`
+//! key for per-stage drill-down.
 
 use std::fs;
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Instant;
 
 use mobilenet_core::peaks::PeakConfig;
 use mobilenet_core::spatial::spatial_correlation;
-use mobilenet_core::study::{Study, StudyConfig};
+use mobilenet_core::study::Study;
 use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
+use mobilenet_core::Scale;
 use mobilenet_geo::Country;
 use mobilenet_netsim::collect;
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog};
+use std::sync::Arc;
+
+/// Stage span names, in pipeline order. Each pass opens exactly these
+/// five root spans, so the snapshot is the timing source of truth.
+const STAGES: [&str; 5] = ["generation", "aggregation", "pairwise_r2", "kshape_sweep", "peaks"];
 
 struct Args {
-    scale: String,
+    scale: Scale,
     seed: u64,
     out: PathBuf,
     threads: usize,
@@ -33,7 +41,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        scale: "medium".to_string(),
+        scale: Scale::Medium,
         seed: mobilenet_bench::SEED,
         out: PathBuf::from("BENCH_baseline.json"),
         threads: mobilenet_par::current_threads(),
@@ -41,7 +49,13 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => args.scale = it.next().expect("--scale needs a value"),
+            "--scale" => {
+                let name = it.next().expect("--scale needs a value");
+                args.scale = name.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => {
                 args.seed = it
                     .next()
@@ -67,24 +81,21 @@ fn parse_args() -> Args {
     args
 }
 
-/// One stage timed under one thread count.
-fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
-    let t0 = Instant::now();
-    let r = f();
-    (t0.elapsed().as_secs_f64(), r)
+/// Seconds spent in each stage span, in [`STAGES`] order.
+fn stage_seconds(snap: &mobilenet_obs::Snapshot) -> [f64; 5] {
+    let mut out = [0.0; 5];
+    for (i, name) in STAGES.iter().enumerate() {
+        out[i] = snap
+            .span(name)
+            .map(|s| s.total_ns as f64 / 1e9)
+            .unwrap_or_else(|| panic!("stage span {name:?} missing from snapshot"));
+    }
+    out
 }
 
 fn main() {
     let args = parse_args();
-    let config = match args.scale.as_str() {
-        "small" => StudyConfig::small(),
-        "medium" => StudyConfig::medium(),
-        "france" => StudyConfig::france_scale(),
-        other => {
-            eprintln!("unknown scale {other}; use small|medium|france");
-            std::process::exit(2);
-        }
-    };
+    let config = args.scale.config();
 
     println!(
         "bench_baseline: {} scale, seed {}, serial vs {} threads",
@@ -99,45 +110,66 @@ fn main() {
         args.seed,
     );
 
-    let stage_names = ["generation", "aggregation", "pairwise_r2", "kshape_sweep", "peaks"];
-    let mut serial_s = Vec::new();
-    let mut parallel_s = Vec::new();
+    let mut serial_s = [0.0f64; 5];
+    let mut parallel_s = [0.0f64; 5];
     let mut digests: Vec<String> = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut parallel_obs_json = String::new();
 
     for (pass, threads) in [("serial", 1usize), ("parallel", args.threads)] {
         mobilenet_par::set_thread_override(Some(threads));
+        mobilenet_obs::set_enabled(Some(true));
+        mobilenet_obs::reset();
         println!("-- {pass} pass ({threads} thread{})", if threads == 1 { "" } else { "s" });
-        let sink = if pass == "serial" { &mut serial_s } else { &mut parallel_s };
 
         // Stage 1: demand evaluation (noise-free expected cube, parallel
         // over services).
-        let (t, expected) = timed(|| model.expected_dataset());
-        println!("   generation   {t:>8.2}s");
-        sink.push(t);
+        let expected = {
+            let _s = mobilenet_obs::span("generation");
+            model.expected_dataset()
+        };
 
         // Stage 2: full measurement pipeline (sessions -> probes -> DPI ->
         // aggregation, parallel over per-service shards).
-        let (t, output) = timed(|| collect(&model, &config.netsim, args.seed));
-        println!("   aggregation  {t:>8.2}s");
-        sink.push(t);
-
+        let output = {
+            let _s = mobilenet_obs::span("aggregation");
+            collect(&model, &config.netsim, args.seed)
+        };
         let study = Study::from_parts(model.clone(), output);
 
         // Stage 3: Figure 10 pairwise r^2 matrix (parallel over service
         // pairs).
-        let (t, corr) = timed(|| spatial_correlation(&study, Direction::Down));
-        println!("   pairwise_r2  {t:>8.2}s");
-        sink.push(t);
+        let corr = {
+            let _s = mobilenet_obs::span("pairwise_r2");
+            spatial_correlation(&study, Direction::Down)
+        };
 
         // Stage 4: Figure 5 k-shape sweep (parallel over k).
-        let (t, sweep) = timed(|| clustering_sweep(&study, Direction::Down, Algorithm::KShape, 5));
-        println!("   kshape_sweep {t:>8.2}s");
-        sink.push(t);
+        let sweep = {
+            let _s = mobilenet_obs::span("kshape_sweep");
+            clustering_sweep(&study, Direction::Down, Algorithm::KShape, 5)
+        };
 
         // Stage 5: Figures 6-7 peak profiling (parallel over services).
-        let (t, profiles) = timed(|| topical_profiles(&study, Direction::Down, &PeakConfig::paper()));
-        println!("   peaks        {t:>8.2}s");
-        sink.push(t);
+        let profiles = {
+            let _s = mobilenet_obs::span("peaks");
+            topical_profiles(&study, Direction::Down, &PeakConfig::paper())
+        };
+
+        // Stage timings come from the span registry — the exact probes
+        // every other binary reports, one timing source of truth.
+        let snap = mobilenet_obs::snapshot();
+        let secs = stage_seconds(&snap);
+        for (name, s) in STAGES.iter().zip(secs.iter()) {
+            println!("   {name:<12} {s:>8.2}s");
+        }
+        if pass == "serial" {
+            serial_s = secs;
+        } else {
+            parallel_s = secs;
+            parallel_obs_json = snap.to_json();
+        }
+        fingerprints.push(snap.counts_fingerprint());
 
         // Cheap digest of every stage's output; serial and parallel passes
         // must agree exactly.
@@ -153,27 +185,36 @@ fn main() {
         digests.push(digest);
     }
     mobilenet_par::set_thread_override(None);
+    mobilenet_obs::set_enabled(None);
     assert_eq!(
         digests[0], digests[1],
         "parallel pass diverged from serial pass — determinism bug"
     );
-    println!("-- output digests match: {}", digests[0]);
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "obs counters diverged between serial and parallel passes — \
+         a probe is recording scheduling-dependent counts"
+    );
+    println!("-- output digests and obs fingerprints match: {}", digests[0]);
 
     let mut stages_json = String::new();
-    for (i, name) in stage_names.iter().enumerate() {
+    for (i, name) in STAGES.iter().enumerate() {
         let speedup = if parallel_s[i] > 0.0 { serial_s[i] / parallel_s[i] } else { 0.0 };
         stages_json.push_str(&format!(
             "    {{ \"stage\": \"{name}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}, \"speedup\": {:.2} }}{}\n",
             serial_s[i],
             parallel_s[i],
             speedup,
-            if i + 1 < stage_names.len() { "," } else { "" }
+            if i + 1 < STAGES.len() { "," } else { "" }
         ));
     }
     let total_serial: f64 = serial_s.iter().sum();
     let total_parallel: f64 = parallel_s.iter().sum();
+    // The parallel pass's full observability snapshot, re-indented to sit
+    // as a nested object.
+    let obs_nested = parallel_obs_json.trim_end().replace('\n', "\n  ");
     let json = format!(
-        "{{\n  \"schema\": \"mobilenet-bench-baseline/v1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"machine_parallelism\": {},\n  \"stages\": [\n{}  ],\n  \"total_serial_s\": {:.4},\n  \"total_parallel_s\": {:.4},\n  \"total_speedup\": {:.2}\n}}\n",
+        "{{\n  \"schema\": \"mobilenet-bench-baseline/v1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"machine_parallelism\": {},\n  \"stages\": [\n{}  ],\n  \"total_serial_s\": {:.4},\n  \"total_parallel_s\": {:.4},\n  \"total_speedup\": {:.2},\n  \"obs\": {}\n}}\n",
         args.scale,
         args.seed,
         args.threads,
@@ -182,6 +223,7 @@ fn main() {
         total_serial,
         total_parallel,
         if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 },
+        obs_nested,
     );
     fs::write(&args.out, &json)
         .unwrap_or_else(|e| panic!("writing {}: {e}", args.out.display()));

@@ -2,49 +2,61 @@
 //!
 //! ```text
 //! figures [--scale small|medium|france] [--seed N] [--out DIR] [--expected]
-//!         [--threads N]
+//!         [--threads N] [--obs FILE]
 //! ```
 //!
 //! Writes one CSV (or PGM/text) file per figure under `DIR` (default
 //! `out/`) and prints a summary comparing the key numbers against the
 //! paper's. The experiment index in `DESIGN.md` maps each output file to
 //! the corresponding figure.
+//!
+//! Observability is always collected (stage timings are read from the
+//! span registry rather than ad-hoc stopwatches); `--obs FILE` (or a path
+//! in `MOBILENET_OBS`) additionally writes the full snapshot as JSON.
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 use mobilenet_core::peaks::{detect_peaks, PeakConfig};
 use mobilenet_core::ranking::{service_ranking, uplink_fraction, zipf_ranking};
 use mobilenet_core::report;
 use mobilenet_core::spatial::{concentration, spatial_correlation};
-use mobilenet_core::study::{Study, StudyConfig};
 use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
 use mobilenet_core::urbanization::{
     mean_temporal_r2, mean_volume_ratios, urbanization_profiles,
 };
-use mobilenet_core::{maps, maps::coverage_map};
+use mobilenet_core::{maps, maps::coverage_map, Pipeline, Scale};
 use mobilenet_traffic::Direction;
 
 struct Args {
-    scale: String,
+    scale: Scale,
     seed: u64,
     out: PathBuf,
     expected: bool,
+    threads: Option<usize>,
+    obs: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        scale: "medium".to_string(),
+        scale: Scale::Medium,
         seed: mobilenet_bench::SEED,
         out: PathBuf::from("out"),
         expected: false,
+        threads: None,
+        obs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => args.scale = it.next().expect("--scale needs a value"),
+            "--scale" => {
+                let name = it.next().expect("--scale needs a value");
+                args.scale = name.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => {
                 args.seed = it
                     .next()
@@ -61,8 +73,9 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--threads must be a positive integer");
                 assert!(n >= 1, "--threads must be at least 1");
-                mobilenet_par::set_thread_override(Some(n));
+                args.threads = Some(n);
             }
+            "--obs" => args.obs = Some(PathBuf::from(it.next().expect("--obs needs a value"))),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -79,30 +92,36 @@ fn write(path: &Path, contents: &str) {
 
 fn main() {
     let args = parse_args();
-    let mut config = match args.scale.as_str() {
-        "small" => StudyConfig::small(),
-        "medium" => StudyConfig::medium(),
-        "france" => StudyConfig::france_scale(),
-        other => {
-            eprintln!("unknown scale {other}; use small|medium|france");
-            std::process::exit(2);
-        }
-    };
-    if args.expected {
-        config = config.expected();
-    }
     fs::create_dir_all(&args.out).expect("creating output directory");
 
+    let mut builder = Pipeline::builder().scale(args.scale).seed(args.seed).obs(true);
+    if args.expected {
+        builder = builder.expected();
+    }
+    if let Some(n) = args.threads {
+        builder = builder.threads(n);
+    }
+    let threads = args.threads.unwrap_or_else(mobilenet_par::current_threads);
     println!(
         "generating {} study (seed {}, {} worker thread{})...",
         args.scale,
         args.seed,
-        mobilenet_par::current_threads(),
-        if mobilenet_par::current_threads() == 1 { "" } else { "s" }
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
-    let t0 = Instant::now();
-    let study = Study::generate(&config, args.seed);
-    println!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    let run = builder.run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    // The generation stopwatch is the obs span the pipeline itself
+    // recorded — one timing source of truth across every binary.
+    let gen_s = run
+        .obs_snapshot()
+        .span("generate")
+        .map(|s| s.total_ns as f64 / 1e9)
+        .unwrap_or(0.0);
+    println!("  done in {gen_s:.1}s");
+    let study = run.into_study();
 
     // Overview (§3 headline numbers).
     write(&args.out.join("overview.txt"), &report::overview_text(&study));
@@ -270,6 +289,13 @@ fn main() {
     let table = mobilenet_core::verdict::verdict_table(&claims);
     write(&args.out.join("verdict.txt"), &table);
     println!("\n{table}");
+
+    // Full observability report (generation + every analysis span above).
+    if let Some(path) = args.obs.clone().or_else(mobilenet_obs::env_output_path) {
+        mobilenet_obs::write_json(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("  wrote {}", path.display());
+    }
 
     println!("all figures written to {}", args.out.display());
 }

@@ -9,24 +9,38 @@
 
 use std::sync::OnceLock;
 
-use mobilenet_core::study::{Study, StudyConfig};
+use mobilenet_core::study::Study;
+use mobilenet_core::{Pipeline, Scale, DEFAULT_SEED};
 
-/// The benchmark seed: fixed so numbers are comparable across runs.
-/// The grouping spells the measurement week's start date, 2016-09-24.
-#[allow(clippy::inconsistent_digit_grouping)]
-pub const SEED: u64 = 2016_09_24;
+/// The benchmark seed: fixed so numbers are comparable across runs
+/// (the measurement week's start date, like [`DEFAULT_SEED`]).
+pub const SEED: u64 = DEFAULT_SEED;
 
 /// A small (1,000-commune) measured study, built once.
 pub fn small_study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::generate(&StudyConfig::small(), SEED))
+    STUDY.get_or_init(|| {
+        Pipeline::builder()
+            .scale(Scale::Small)
+            .seed(SEED)
+            .run()
+            .expect("small fixture")
+            .into_study()
+    })
 }
 
 /// A medium (6,000-commune) measured study, built once. This is the scale
 /// the shipped figures use.
 pub fn medium_study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::generate(&StudyConfig::medium(), SEED))
+    STUDY.get_or_init(|| {
+        Pipeline::builder()
+            .scale(Scale::Medium)
+            .seed(SEED)
+            .run()
+            .expect("medium fixture")
+            .into_study()
+    })
 }
 
 #[cfg(test)]

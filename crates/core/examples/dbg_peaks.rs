@@ -1,10 +1,10 @@
 use mobilenet_core::peaks::PeakConfig;
-use mobilenet_core::study::{Study, StudyConfig};
 use mobilenet_core::topical::topical_profiles;
+use mobilenet_core::Pipeline;
 use mobilenet_traffic::{Direction, TopicalTime};
 fn main() {
     for seed in [42u64, 99, 7, 1234, 555] {
-        let s = Study::generate(&StudyConfig::small().expected(), seed);
+        let s = Pipeline::builder().seed(seed).expected().run().unwrap().into_study();
         let profiles = topical_profiles(&s, Direction::Down, &PeakConfig::paper());
         let mut missed = 0; let mut total = 0; let mut false_cb = 0;
         for (spec, p) in s.catalog().head().iter().zip(profiles.iter()) {

@@ -1,0 +1,93 @@
+//! The unified error type of the assembly pipeline.
+//!
+//! Everything fallible on the way to a [`Study`](crate::Study) — reading
+//! files, parsing persisted datasets and probe traces, validating
+//! configuration, resolving user-facing names — funnels into one
+//! [`Error`], so binaries report failures instead of unwinding.
+
+use mobilenet_netsim::TraceError;
+use mobilenet_traffic::DatasetError;
+
+/// Everything that can go wrong assembling or loading a study.
+#[derive(Debug)]
+pub enum Error {
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// A persisted dataset CSV failed to parse.
+    Dataset(DatasetError),
+    /// A probe trace failed to parse.
+    Trace(TraceError),
+    /// A configuration failed validation.
+    Config(String),
+    /// A scale name that is not `small`, `medium` or `france`.
+    UnknownScale(String),
+    /// A service name missing from the catalog.
+    UnknownService(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Dataset(e) => write!(f, "{e}"),
+            Error::Trace(e) => write!(f, "{e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::UnknownScale(s) => {
+                write!(f, "unknown scale {s:?}; use small|medium|france")
+            }
+            Error::UnknownService(s) => write!(f, "unknown service {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Dataset(e) => Some(e),
+            Error::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<DatasetError> for Error {
+    fn from(e: DatasetError) -> Self {
+        Error::Dataset(e)
+    }
+}
+
+impl From<TraceError> for Error {
+    fn from(e: TraceError) -> Self {
+        Error::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = Error::from(DatasetError { line: 7, message: "bad float".into() });
+        assert_eq!(e.to_string(), "dataset line 7: bad float");
+        let e = Error::from(TraceError { line: 2, message: "bad hour".into() });
+        assert!(e.to_string().contains("trace line 2"));
+        assert!(Error::UnknownScale("big".into()).to_string().contains("small|medium|france"));
+        assert!(Error::Config("negative radius".into()).to_string().contains("negative radius"));
+    }
+
+    #[test]
+    fn sources_chain_for_wrapped_errors() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(Error::Config("x".into()).source().is_none());
+    }
+}

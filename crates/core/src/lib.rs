@@ -34,24 +34,33 @@
 //! * [`slicing`] — network-slice dimensioning and pooling-gain analysis
 //!   (the application of §1).
 //!
+//! Infrastructure shared by every consumer:
+//!
+//! * [`pipeline`] — the [`Pipeline`] builder, the single entry point that
+//!   assembles a study (scale → config → seed → threads → observability).
+//! * [`error`] — the unified [`Error`] every fallible assembly path
+//!   returns.
+//!
 //! # Quickstart
 //!
 //! ```no_run
-//! use mobilenet_core::study::{Study, StudyConfig};
+//! use mobilenet_core::{Pipeline, Scale};
 //!
-//! let study = Study::generate(&StudyConfig::small(), 42);
-//! let fig2 = mobilenet_core::ranking::zipf_ranking(&study);
+//! let run = Pipeline::builder().scale(Scale::Small).seed(42).run().unwrap();
+//! let fig2 = mobilenet_core::ranking::zipf_ranking(run.study());
 //! println!("downlink Zipf exponent: {:.2}", fig2.dl_fit.unwrap().exponent);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod forecast;
 pub mod maps;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod peaks;
+pub mod pipeline;
 pub mod ranking;
 pub mod report;
 pub mod slicing;
@@ -62,4 +71,6 @@ pub mod topical;
 pub mod urbanization;
 pub mod verdict;
 
+pub use error::Error;
+pub use pipeline::{Pipeline, PipelineBuilder, Run, Scale, DEFAULT_SEED};
 pub use study::{Study, StudyConfig};

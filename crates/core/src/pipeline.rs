@@ -1,0 +1,316 @@
+//! The unified entry point: `Pipeline::builder()…run()`.
+//!
+//! Every binary, example and benchmark assembles its study the same way —
+//! pick a scale, maybe tweak the configuration, set a seed, pin threads,
+//! toggle observability, run. This module packages that sequence as one
+//! builder so the wiring lives in exactly one place:
+//!
+//! ```no_run
+//! use mobilenet_core::{Pipeline, Scale};
+//!
+//! let run = Pipeline::builder()
+//!     .scale(Scale::Small)
+//!     .seed(42)
+//!     .threads(4)
+//!     .obs(true)
+//!     .run()
+//!     .expect("valid configuration");
+//! println!("{} sessions collected", run.collection_stats().unwrap().sessions);
+//! ```
+//!
+//! [`PipelineBuilder::run`] validates the configuration up front and
+//! returns a typed [`Error`] instead of panicking; the resulting [`Run`]
+//! exposes the study plus the observability snapshot of the build.
+
+use std::path::Path;
+use std::str::FromStr;
+
+use mobilenet_geo::Country;
+use mobilenet_netsim::{CollectionStats, SessionRecord};
+use mobilenet_traffic::{ServiceCatalog, TrafficDataset};
+
+use crate::error::Error;
+use crate::study::{Study, StudyConfig};
+
+/// The default master seed — the measurement week's start date
+/// (2016-09-24, the paper's campaign).
+#[allow(clippy::inconsistent_digit_grouping)]
+pub const DEFAULT_SEED: u64 = 2016_09_24;
+
+/// A named study scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1,000 communes — the unit-test scale.
+    Small,
+    /// ~6,000 communes — the figure-generation scale.
+    Medium,
+    /// Full France scale: 36,000 communes, 30 M subscribers.
+    France,
+}
+
+impl Scale {
+    /// The measured [`StudyConfig`] of this scale.
+    pub fn config(self) -> StudyConfig {
+        match self {
+            Scale::Small => StudyConfig::small(),
+            Scale::Medium => StudyConfig::medium(),
+            Scale::France => StudyConfig::france_scale(),
+        }
+    }
+
+    /// The scale's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::France => "france",
+        }
+    }
+}
+
+impl FromStr for Scale {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        match s {
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "france" | "france-scale" => Ok(Scale::France),
+            other => Err(Error::UnknownScale(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The assembly pipeline; use [`Pipeline::builder`] to configure and run
+/// it.
+#[derive(Debug)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// A builder starting from the small measured scale and
+    /// [`DEFAULT_SEED`].
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+}
+
+/// Configures one end-to-end study assembly. See the [module
+/// docs](self) for the typical call chain.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    config: StudyConfig,
+    seed: u64,
+    threads: Option<usize>,
+    obs: Option<bool>,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        PipelineBuilder {
+            config: StudyConfig::small(),
+            seed: DEFAULT_SEED,
+            threads: None,
+            obs: None,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Selects a named scale (resetting any prior configuration to that
+    /// scale's measured defaults).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.config = scale.config();
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: StudyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Edits the configuration in place — the hook for per-study tweaks
+    /// (event calendars, ablated pipeline parameters, …).
+    pub fn configure(mut self, edit: impl FnOnce(&mut StudyConfig)) -> Self {
+        edit(&mut self.config);
+        self
+    }
+
+    /// Switches to the noise-free expected-value path (no measurement
+    /// pipeline, no collection stats).
+    pub fn expected(mut self) -> Self {
+        self.config.measured = false;
+        self
+    }
+
+    /// Sets the master seed (default: [`DEFAULT_SEED`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the worker count of every parallel stage. Process-global,
+    /// like the `MOBILENET_THREADS` environment variable it overrides:
+    /// the setting persists beyond this run.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Turns observability collection on or off for the process
+    /// (equivalent to [`mobilenet_obs::set_enabled`], overriding the
+    /// `MOBILENET_OBS` environment variable). Without this call the
+    /// environment decides.
+    pub fn obs(mut self, enabled: bool) -> Self {
+        self.obs = Some(enabled);
+        self
+    }
+
+    /// Validates the configuration and assembles the study.
+    ///
+    /// Output is deterministic in `(config, seed)` and bit-identical at
+    /// any thread count, with or without observability.
+    pub fn run(self) -> Result<Run, Error> {
+        self.config.netsim.validate().map_err(Error::Config)?;
+        if let Some(enabled) = self.obs {
+            mobilenet_obs::set_enabled(Some(enabled));
+        }
+        if let Some(threads) = self.threads {
+            mobilenet_par::set_thread_override(Some(threads));
+        }
+        let study = Study::generate_inner(&self.config, self.seed);
+        Ok(Run { study })
+    }
+}
+
+/// A completed pipeline run.
+pub struct Run {
+    study: Study,
+}
+
+impl Run {
+    /// The assembled study.
+    pub fn study(&self) -> &Study {
+        &self.study
+    }
+
+    /// Consumes the run, yielding the study.
+    pub fn into_study(self) -> Study {
+        self.study
+    }
+
+    /// The generated country.
+    pub fn country(&self) -> &Country {
+        self.study.country()
+    }
+
+    /// The service catalog.
+    pub fn catalog(&self) -> &ServiceCatalog {
+        self.study.catalog()
+    }
+
+    /// The aggregated measurement tables.
+    pub fn dataset(&self) -> &TrafficDataset {
+        self.study.dataset()
+    }
+
+    /// Collection diagnostics (absent on the expected-value path).
+    pub fn collection_stats(&self) -> Option<&CollectionStats> {
+        self.study.collection_stats()
+    }
+
+    /// A snapshot of everything the observability layer recorded so far
+    /// in this process (empty when collection is disabled).
+    pub fn obs_snapshot(&self) -> mobilenet_obs::Snapshot {
+        mobilenet_obs::snapshot()
+    }
+
+    /// Writes the current observability snapshot as JSON to `path`.
+    pub fn write_obs_json(&self, path: &Path) -> Result<(), Error> {
+        mobilenet_obs::write_json(path).map_err(Error::Io)
+    }
+}
+
+/// Reads and parses a dataset CSV previously written by
+/// [`TrafficDataset::to_csv`].
+pub fn load_dataset_csv(path: &Path) -> Result<TrafficDataset, Error> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(TrafficDataset::from_csv(&text)?)
+}
+
+/// Reads and parses a probe trace previously written by
+/// [`mobilenet_netsim::trace_to_csv`].
+pub fn load_trace_csv(path: &Path) -> Result<Vec<SessionRecord>, Error> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(mobilenet_netsim::trace_from_csv(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobilenet_traffic::Direction;
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Small, Scale::Medium, Scale::France] {
+            assert_eq!(scale.name().parse::<Scale>().unwrap(), scale);
+        }
+        assert_eq!("france-scale".parse::<Scale>().unwrap(), Scale::France);
+        assert!(matches!("big".parse::<Scale>(), Err(Error::UnknownScale(_))));
+    }
+
+    #[test]
+    fn builder_matches_direct_generation() {
+        let run = Pipeline::builder().seed(5).run().expect("small config is valid");
+        let direct = Study::generate_inner(&StudyConfig::small(), 5);
+        assert_eq!(
+            run.dataset().national_weekly(Direction::Down, 0),
+            direct.dataset().national_weekly(Direction::Down, 0)
+        );
+        assert!(run.collection_stats().is_some());
+    }
+
+    #[test]
+    fn expected_path_and_configure_apply() {
+        let run = Pipeline::builder()
+            .seed(5)
+            .expected()
+            .configure(|c| c.traffic.n_tail_services = 7)
+            .run()
+            .unwrap();
+        assert!(run.collection_stats().is_none());
+        assert_eq!(run.dataset().tail_weekly(Direction::Down).len(), 7);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_not_panicked() {
+        let result = Pipeline::builder()
+            .configure(|c| c.netsim.stations_per_10k_pop = -1.0)
+            .run();
+        assert!(matches!(result, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn loaders_propagate_io_and_parse_errors() {
+        let missing = Path::new("/nonexistent/mobilenet-test/ds.csv");
+        assert!(matches!(load_dataset_csv(missing), Err(Error::Io(_))));
+        let dir = std::env::temp_dir();
+        let bad = dir.join("mobilenet_core_bad_dataset.csv");
+        std::fs::write(&bad, "not a dataset\n").unwrap();
+        assert!(matches!(load_dataset_csv(&bad), Err(Error::Dataset(_))));
+        let bad_trace = dir.join("mobilenet_core_bad_trace.csv");
+        std::fs::write(&bad_trace, "#mobilenet-trace v1\nbogus\n").unwrap();
+        match load_trace_csv(&bad_trace) {
+            Err(Error::Trace(e)) => assert_eq!(e.line, 2),
+            other => panic!("expected trace error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&bad);
+        let _ = std::fs::remove_file(&bad_trace);
+    }
+}

@@ -94,6 +94,7 @@ impl SpatialCorrelation {
 /// Communes with no subscribers are excluded from every pair (they carry
 /// no signal, only zeros that would inflate correlations).
 pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation {
+    let _span = mobilenet_obs::span("spatial_r2");
     let ds = study.dataset();
     let n = study.catalog().head().len();
     let users = ds.commune_users();
@@ -112,6 +113,7 @@ pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation 
         (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
     let pair_values =
         mobilenet_par::par_map(&pairs, |&(i, j)| r_squared(&vectors[i], &vectors[j]));
+    mobilenet_obs::add("core.r2_pairs", pairs.len() as u64);
     let mut matrix = vec![vec![1.0; n]; n];
     for (&(i, j), &r2) in pairs.iter().zip(pair_values.iter()) {
         matrix[i][j] = r2;

@@ -76,15 +76,34 @@ pub struct Study {
 
 impl Study {
     /// Generates a study end-to-end; deterministic in `(config, seed)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pipeline::builder()` (`mobilenet_core::Pipeline`), which validates the \
+                configuration and returns a typed error instead of panicking"
+    )]
     pub fn generate(config: &StudyConfig, seed: u64) -> Self {
+        Study::generate_inner(config, seed)
+    }
+
+    /// The generation body behind both [`Study::generate`] and the
+    /// [`Pipeline`](crate::Pipeline) builder. Deterministic in
+    /// `(config, seed)`; records the `generate/{country,demand_model,…}`
+    /// span tree when observability is enabled.
+    pub(crate) fn generate_inner(config: &StudyConfig, seed: u64) -> Self {
+        let _generate_span = mobilenet_obs::span("generate");
+        let country_span = mobilenet_obs::span("country");
         let country = Arc::new(Country::generate(&config.country, seed));
+        drop(country_span);
+        let model_span = mobilenet_obs::span("demand_model");
         let catalog = Arc::new(ServiceCatalog::standard(config.traffic.n_tail_services));
         let model =
             DemandModel::new(country.clone(), catalog.clone(), config.traffic.clone(), seed);
+        drop(model_span);
         let (dataset, collection_stats) = if config.measured {
             let out = collect(&model, &config.netsim, seed);
             (out.dataset, Some(out.stats))
         } else {
+            let _expected_span = mobilenet_obs::span("expected_dataset");
             (model.expected_dataset(), None)
         };
         Study { country, catalog, model, dataset, collection_stats }
@@ -141,7 +160,7 @@ mod tests {
 
     #[test]
     fn measured_study_reports_collection_stats() {
-        let study = Study::generate(&StudyConfig::small(), 1);
+        let study = Study::generate_inner(&StudyConfig::small(), 1);
         let stats = study.collection_stats().expect("measured study has stats");
         assert!(stats.sessions > 1_000);
         assert!((stats.classification_rate() - 0.88).abs() < 0.03);
@@ -150,7 +169,7 @@ mod tests {
 
     #[test]
     fn expected_study_has_no_stats() {
-        let study = Study::generate(&StudyConfig::small().expected(), 1);
+        let study = Study::generate_inner(&StudyConfig::small().expected(), 1);
         assert!(study.collection_stats().is_none());
         assert!(study.dataset().total(Direction::Down) > 0.0);
         assert_eq!(study.dataset().unclassified(Direction::Down), 0.0);
@@ -158,8 +177,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Study::generate(&StudyConfig::small(), 5);
-        let b = Study::generate(&StudyConfig::small(), 5);
+        let a = Study::generate_inner(&StudyConfig::small(), 5);
+        let b = Study::generate_inner(&StudyConfig::small(), 5);
         assert_eq!(
             a.dataset().national_weekly(Direction::Down, 0),
             b.dataset().national_weekly(Direction::Down, 0)
@@ -170,8 +189,8 @@ mod tests {
 
     #[test]
     fn measured_and_expected_totals_agree_up_to_classification() {
-        let measured = Study::generate(&StudyConfig::small(), 9);
-        let expected = Study::generate(&StudyConfig::small().expected(), 9);
+        let measured = Study::generate_inner(&StudyConfig::small(), 9);
+        let expected = Study::generate_inner(&StudyConfig::small().expected(), 9);
         let rate = 0.88;
         let m = measured.dataset().national_weekly(Direction::Down, 0);
         let e = expected.dataset().national_weekly(Direction::Down, 0) * rate;

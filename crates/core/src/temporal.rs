@@ -139,8 +139,14 @@ pub fn sweep_series(
     // Every k of the sweep is independent (restarts are seeded by restart
     // index, not by a shared stream), so the k axis parallelizes with no
     // effect on the output.
+    let _sweep_span = mobilenet_obs::span("kshape_sweep");
     let ks: Vec<usize> = (2..series.len()).collect();
+    mobilenet_obs::add("core.kshape_ks", ks.len() as u64);
     let points = mobilenet_par::par_map(&ks, |&k| {
+        // Worker threads have a fresh span stack, so this records at the
+        // root; its count equals the number of swept ks at any thread
+        // count, but the durations are per-worker wall clock.
+        let _k_span = mobilenet_obs::span("kshape_k");
         let mut best: Option<(f64, Clustering)> = None;
         for restart in 0..restarts.max(1) {
             let clustering = match algorithm {

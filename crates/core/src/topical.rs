@@ -174,7 +174,9 @@ pub fn topical_profiles(
 ) -> Vec<ServiceTopicalProfile> {
     // Profiling is a pure function of each service's own series, so the
     // ~catalog-sized loop parallelizes service-by-service.
+    let _span = mobilenet_obs::span("topical_peaks");
     let head = study.catalog().head();
+    mobilenet_obs::add("core.topical_services", head.len() as u64);
     mobilenet_par::par_map_collect(head.len(), |s| {
         let series = study.dataset().national_series(dir, s);
         profile_service(series, s, head[s].name, config)

@@ -46,6 +46,6 @@ pub use config::NetsimConfig;
 pub use pipeline::{collect, CollectionOutput, CollectionStats};
 pub use probe::Probe;
 pub use radio::RadioNetwork;
-pub use trace::{observe_sessions, replay, trace_from_csv, trace_to_csv};
+pub use trace::{observe_sessions, replay, trace_from_csv, trace_to_csv, TraceError};
 pub use records::{Interface, SessionRecord};
 pub use uli::UliModel;

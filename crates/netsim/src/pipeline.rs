@@ -147,12 +147,15 @@ pub(crate) fn probe_shard_rng(seed: u64, shard: usize) -> StdRng {
 /// shard order, independent of `MOBILENET_THREADS`.
 pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
     config.validate().expect("invalid NetsimConfig");
+    let _collect_span = mobilenet_obs::span("collect");
     let country = model.country();
     let catalog = model.catalog();
+    let capture_span = mobilenet_obs::span("capture");
     let (radio, classifier, directions) = build_capture(model, config, seed);
     let probe = Probe::new(&radio, UliModel::new(config), &classifier)
         .with_movement_directions(directions);
     let generator = SessionGenerator::new(model, seed);
+    drop(capture_span);
     let new_dataset = || {
         TrafficDataset::new(
             country,
@@ -163,6 +166,7 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
     };
 
     // One partial (dataset, stats) per service shard.
+    let shards_span = mobilenet_obs::span("shards");
     let partials = mobilenet_par::par_map_collect(generator.shards(), |shard| {
         let mut dataset = new_dataset();
         let mut stats = CollectionStats::default();
@@ -227,9 +231,11 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
         });
         (dataset, stats)
     });
+    drop(shards_span);
 
     // Deterministic reduction: always in shard order, regardless of which
     // worker finished first.
+    let merge_span = mobilenet_obs::span("merge");
     let mut dataset = new_dataset();
     let mut stats = CollectionStats::default();
     for (partial_dataset, partial_stats) in &partials {
@@ -240,8 +246,37 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
     // Tail services: their national weekly totals come straight from the
     // demand model (they carry no spatial structure the analyses use).
     model.fill_tail(&mut dataset);
+    drop(merge_span);
+
+    record_collection_metrics(&stats);
 
     CollectionOutput { dataset, stats }
+}
+
+/// Bucket edges (km) of the `netsim.uli_error_km` displacement histogram:
+/// sub-cell fixes up to long-range TGV mislocalizations.
+const ULI_ERROR_EDGES_KM: [f64; 8] = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 15.0, 30.0];
+
+/// Publishes a run's [`CollectionStats`] to the observability registry.
+///
+/// Called once per collection, after the shard-ordered merge, from a
+/// single thread — so the `f64` byte counters and the histogram sum
+/// accumulate in a fixed order and every recorded value is bit-identical
+/// at any thread count.
+fn record_collection_metrics(stats: &CollectionStats) {
+    if !mobilenet_obs::enabled() {
+        return;
+    }
+    mobilenet_obs::add("netsim.sessions", stats.sessions);
+    mobilenet_obs::add("netsim.gn_records", stats.gn_records);
+    mobilenet_obs::add("netsim.s5s8_records", stats.s5s8_records);
+    mobilenet_obs::add("netsim.stale_fixes", stats.stale_fixes);
+    mobilenet_obs::add("netsim.misassigned_sessions", stats.misassigned_sessions);
+    mobilenet_obs::add_f64("netsim.classified_mb", stats.classified_mb);
+    mobilenet_obs::add_f64("netsim.unclassified_mb", stats.unclassified_mb);
+    for &err in &stats.sampled_errors_km {
+        mobilenet_obs::observe("netsim.uli_error_km", err, &ULI_ERROR_EDGES_KM);
+    }
 }
 
 #[cfg(test)]

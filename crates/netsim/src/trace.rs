@@ -112,14 +112,43 @@ pub fn trace_to_csv<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) ->
     out
 }
 
+/// A parse failure in [`trace_from_csv`], locating the offending row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Parses a trace written by [`trace_to_csv`].
-pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, String> {
+///
+/// Errors carry the 1-based line number of the offending row.
+pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, TraceError> {
     let mut lines = text.lines();
     match lines.next() {
         Some(TRACE_HEADER) => {}
-        _ => return Err("missing/unsupported trace header".into()),
+        _ => {
+            return Err(TraceError {
+                line: 1,
+                message: "missing/unsupported trace header".into(),
+            })
+        }
     }
-    lines.map(record_from_line).collect()
+    lines
+        .enumerate()
+        .map(|(i, line)| {
+            record_from_line(line).map_err(|message| TraceError { line: i + 2, message })
+        })
+        .collect()
 }
 
 /// Replays records through a classifier into a dataset shaped like

@@ -101,13 +101,30 @@ impl Pool {
     }
 
     /// Maps `f` over `0..n` on this pool; results in index order.
+    ///
+    /// When observability is enabled ([`mobilenet_obs::enabled`]) the
+    /// region records `par.regions` / `par.items` / `par.worker_items`
+    /// counters (totals, identical at any thread count), the
+    /// `par.workers` gauge, and per-worker `par/worker_wait` (spawn
+    /// latency) and `par/worker_busy` spans. Worker-level timing lives in
+    /// the span section, which is excluded from the determinism
+    /// fingerprint because scheduling shapes it.
     pub fn map_collect<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         let workers = self.threads.min(n);
+        let observing = mobilenet_obs::enabled();
+        if observing {
+            mobilenet_obs::add("par.regions", 1);
+            mobilenet_obs::add("par.items", n as u64);
+            mobilenet_obs::gauge("par.workers", workers.max(1) as f64);
+        }
         if workers <= 1 {
+            if observing {
+                mobilenet_obs::add("par.worker_items", n as u64);
+            }
             return (0..n).map(f).collect();
         }
         // One slot per item: workers race over which item they pick up
@@ -116,16 +133,35 @@ impl Pool {
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let chunk = n.div_ceil(workers * 4).max(1);
+        let region_start = std::time::Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+                scope.spawn(|| {
+                    let spawned = std::time::Instant::now();
+                    let mut processed = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for (i, slot) in
+                            slots.iter().enumerate().take(n.min(start + chunk)).skip(start)
+                        {
+                            let result = f(i);
+                            *slot.lock().expect("result slot poisoned") = Some(result);
+                            processed += 1;
+                        }
                     }
-                    for (i, slot) in slots.iter().enumerate().take(n.min(start + chunk)).skip(start) {
-                        let result = f(i);
-                        *slot.lock().expect("result slot poisoned") = Some(result);
+                    if observing {
+                        // The per-worker item split is scheduling-dependent;
+                        // only the total (always exactly `n`) is counted.
+                        mobilenet_obs::add("par.worker_items", processed);
+                        let wait = spawned.duration_since(region_start);
+                        mobilenet_obs::record_span_ns("par/worker_wait", wait.as_nanos() as u64);
+                        mobilenet_obs::record_span_ns(
+                            "par/worker_busy",
+                            spawned.elapsed().as_nanos() as u64,
+                        );
                     }
                 });
             }

@@ -330,26 +330,25 @@ impl TrafficDataset {
     }
 
     /// Parses a dataset previously written by [`TrafficDataset::to_csv`].
-    pub fn from_csv(text: &str) -> Result<TrafficDataset, String> {
+    ///
+    /// Errors carry the 1-based line number of the offending row, so a
+    /// caller (or a CLI user) can locate the problem in the file.
+    pub fn from_csv(text: &str) -> Result<TrafficDataset, DatasetError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty input")?;
+        let header = lines.next().ok_or_else(|| DatasetError::at(1, "empty input"))?;
         let header = header
             .strip_prefix("#mobilenet-dataset v1,")
-            .ok_or("missing/unsupported header")?;
+            .ok_or_else(|| DatasetError::at(1, "missing/unsupported header"))?;
         let dims: Vec<usize> = header
             .split(',')
-            .map(|x| x.parse().map_err(|e| format!("bad dimension: {e}")))
+            .map(|x| {
+                x.parse().map_err(|e| DatasetError::at(1, format!("bad dimension: {e}")))
+            })
             .collect::<Result<_, _>>()?;
         if dims.len() != 3 {
-            return Err("header needs 3 dimensions".into());
+            return Err(DatasetError::at(1, "header needs 3 dimensions"));
         }
         let (n_services, n_communes, n_tail) = (dims[0], dims[1], dims[2]);
-
-        let parse_floats = |s: &str| -> Result<Vec<f64>, String> {
-            s.split(',')
-                .map(|x| x.parse::<f64>().map_err(|e| format!("bad float {x:?}: {e}")))
-                .collect()
-        };
 
         let mut ds = TrafficDataset {
             n_services,
@@ -364,7 +363,32 @@ impl TrafficDataset {
             class_users: [0.0; 4],
         };
 
-        for line in lines {
+        for (i, line) in lines.enumerate() {
+            ds.apply_csv_line(line, n_tail).map_err(|m| DatasetError::at(i + 2, m))?;
+        }
+
+        // Recompute the derived class_users table.
+        let mut class_users = [0.0; 4];
+        for (u, &c) in ds.commune_users.iter().zip(ds.commune_class.iter()) {
+            if c as usize >= 4 {
+                return Err(DatasetError::at(0, "commune class out of range"));
+            }
+            class_users[c as usize] += u;
+        }
+        ds.class_users = class_users;
+        Ok(ds)
+    }
+
+    /// Applies one body row of the CSV format to `self`.
+    fn apply_csv_line(&mut self, line: &str, n_tail: usize) -> Result<(), String> {
+        let (n_services, n_communes) = (self.n_services, self.n_communes);
+        let parse_floats = |s: &str| -> Result<Vec<f64>, String> {
+            s.split(',')
+                .map(|x| x.parse::<f64>().map_err(|e| format!("bad float {x:?}: {e}")))
+                .collect()
+        };
+        {
+            let ds = self;
             let (section, rest) = line.split_once(',').ok_or("malformed line")?;
             match section {
                 "unclassified" => {
@@ -441,17 +465,7 @@ impl TrafficDataset {
                 other => return Err(format!("unknown section {other:?}")),
             }
         }
-
-        // Recompute the derived class_users table.
-        let mut class_users = [0.0; 4];
-        for (u, &c) in ds.commune_users.iter().zip(ds.commune_class.iter()) {
-            if c as usize >= 4 {
-                return Err("commune class out of range".into());
-            }
-            class_users[c as usize] += u;
-        }
-        ds.class_users = class_users;
-        Ok(ds)
+        Ok(())
     }
 
     /// Merges another dataset (same shape) into this one. Used to combine
@@ -480,6 +494,35 @@ impl TrafficDataset {
         self.unclassified[1] += other.unclassified[1];
     }
 }
+
+/// A parse failure in [`TrafficDataset::from_csv`], locating the
+/// offending row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetError {
+    /// 1-based line number of the offending row; 0 for whole-file
+    /// problems that no single line causes.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl DatasetError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        DatasetError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "dataset: {}", self.message)
+        } else {
+            write!(f, "dataset line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 #[cfg(test)]
 mod tests {

@@ -45,7 +45,7 @@ pub mod week;
 
 pub use catalog::{Category, ServiceCatalog, ServiceId, ServiceSpec};
 pub use config::TrafficConfig;
-pub use dataset::{Direction, TrafficDataset};
+pub use dataset::{DatasetError, Direction, TrafficDataset};
 pub use demand::DemandModel;
 pub use events::EventSpec;
 pub use mobility::MobilityModel;

@@ -131,7 +131,10 @@ impl<'a> SessionGenerator<'a> {
     /// shard's own RNG stream. Safe to call from any thread, in any order;
     /// the shard's output depends only on `(model, seed, shard)`.
     ///
-    /// Returns the number of sessions generated.
+    /// Returns the number of sessions generated. When observability is
+    /// enabled, the count also lands on the `traffic.sessions` counter —
+    /// per-shard totals commute, so the counter is exact at any thread
+    /// count.
     pub fn generate_shard(&self, shard: usize, mut sink: impl FnMut(&Session)) -> u64 {
         assert!(shard < self.shards(), "shard {shard} out of range");
         let mut rng =
@@ -141,6 +144,7 @@ impl<'a> SessionGenerator<'a> {
         for ci in 0..n_communes {
             count += self.generate_pair(shard, ci, &mut rng, &mut sink);
         }
+        mobilenet_obs::add("traffic.sessions", count);
         count
     }
 

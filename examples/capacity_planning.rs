@@ -8,11 +8,16 @@
 //! ```
 
 use mobilenet::core::forecast::{forecast_report, holt_winters, HoltWintersConfig};
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::traffic::Direction;
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
-    let study = Study::generate(&StudyConfig::small(), 42);
+    let study = Pipeline::builder()
+        .scale(Scale::Small)
+        .seed(42)
+        .run()
+        .expect("small config is valid")
+        .into_study();
     let train_hours = 120; // Sat..Wed; predict Thu+Fri
 
     println!("== per-service predictability (train 5 days, test 2) ==");

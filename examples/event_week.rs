@@ -11,22 +11,30 @@
 //! ```
 
 use mobilenet::core::peaks::PeakConfig;
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::traffic::{Direction, EventSpec};
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
     let seed = 42;
-    let clean_cfg = StudyConfig::small();
-    let clean = Study::generate(&clean_cfg, seed);
+    let clean = Pipeline::builder()
+        .scale(Scale::Small)
+        .seed(seed)
+        .run()
+        .expect("small config is valid")
+        .into_study();
 
     // The same week, with a stadium match near the capital on Saturday
     // evening. The epicenter must be chosen on the same country, so peek
     // at the clean study's geography.
     let capital = clean.country().cities()[0].center;
-    let mut event_cfg = StudyConfig::small();
-    event_cfg.traffic.events.push(EventSpec::stadium_match(capital));
-    let event = Study::generate(&event_cfg, seed);
+    let event = Pipeline::builder()
+        .scale(Scale::Small)
+        .configure(|c| c.traffic.events.push(EventSpec::stadium_match(capital)))
+        .seed(seed)
+        .run()
+        .expect("small config is valid")
+        .into_study();
 
     // Effect 1: the host commune's demand surges.
     let host = clean.country().commune_at(&capital);

@@ -17,11 +17,16 @@
 
 use std::collections::BTreeMap;
 
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::traffic::{Direction, HOURS_PER_WEEK};
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
-    let study = Study::generate(&StudyConfig::small(), 42);
+    let study = Pipeline::builder()
+        .scale(Scale::Small)
+        .seed(42)
+        .run()
+        .expect("small config is valid")
+        .into_study();
     let ds = study.dataset();
 
     // Aggregate national hourly downlink per category.

@@ -9,16 +9,22 @@
 //! ```
 
 use mobilenet::core::peaks::PeakConfig;
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::traffic::{Direction, TopicalTime};
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
     // Expected-value path: noise-free aggregates at demo scale. The measured
     // path gives the same picture at figure scale (6k+ communes) — see the
     // `figures` binary — but at 1,000 communes its sampling noise would blur
     // this illustration.
-    let study = Study::generate(&StudyConfig::small().expected(), 42);
+    let study = Pipeline::builder()
+        .scale(Scale::Small)
+        .expected()
+        .seed(42)
+        .run()
+        .expect("small config is valid")
+        .into_study();
     let profiles = topical_profiles(&study, Direction::Down, &PeakConfig::paper());
 
     // Header: one column per topical time (ring order of Figure 6).

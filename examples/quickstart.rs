@@ -8,14 +8,19 @@
 
 use mobilenet::core::ranking::{service_ranking, uplink_fraction, zipf_ranking};
 use mobilenet::core::report::overview_text;
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::traffic::Direction;
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
     // A ~1,000-commune country with the full measurement pipeline:
     // sessions → GTP probes → ULI localization → DPI → commune aggregation.
     println!("generating study (this samples a few million sessions)...\n");
-    let study = Study::generate(&StudyConfig::small(), 42);
+    let study = Pipeline::builder()
+        .scale(Scale::Small)
+        .seed(42)
+        .run()
+        .expect("small config is valid")
+        .into_study();
 
     println!("== dataset overview ==\n{}", overview_text(&study));
 

@@ -7,19 +7,25 @@
 
 use mobilenet::core::maps::{coverage_map, per_user_map};
 use mobilenet::core::spatial::{concentration, spatial_correlation};
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::urbanization::{
     mean_temporal_r2, mean_volume_ratios, urbanization_profiles,
 };
 use mobilenet::geo::UsageClass;
 use mobilenet::traffic::Direction;
+use mobilenet::{Pipeline, Scale};
 
 fn main() {
     // Expected-value path: noise-free aggregates at demo scale. The measured
     // path gives the same picture at figure scale (6k+ communes) — see the
     // `figures` binary — but at 1,000 communes its sampling noise would blur
     // this illustration.
-    let study = Study::generate(&StudyConfig::small().expected(), 42);
+    let study = Pipeline::builder()
+        .scale(Scale::Small)
+        .expected()
+        .seed(42)
+        .run()
+        .expect("small config is valid")
+        .into_study();
 
     // Figure 8: demand concentration across communes.
     let twitter = study

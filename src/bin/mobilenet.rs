@@ -12,8 +12,10 @@
 //! Scales: `small` (1k communes), `medium` (6k), `france` (36k).
 //!
 //! Every command also accepts `--threads N` to pin the worker count of the
-//! parallel pipeline stages (default: `MOBILENET_THREADS` or all cores);
-//! the output is identical at any thread count.
+//! parallel pipeline stages (default: `MOBILENET_THREADS` or all cores) —
+//! the output is identical at any thread count — and `--obs FILE` to
+//! collect per-stage observability (spans, counters, histograms) and
+//! write it to `FILE` as JSON (`MOBILENET_OBS` works too; see README).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,26 +23,29 @@ use std::process::ExitCode;
 use mobilenet::core::peaks::PeakConfig;
 use mobilenet::core::ranking::service_ranking;
 use mobilenet::core::report::overview_text;
-use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::study::Study;
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::core::{forecast, maps};
 use mobilenet::traffic::{Direction, TopicalTime};
+use mobilenet::{Error, Pipeline, Scale, DEFAULT_SEED};
 
 struct Args {
     command: String,
-    scale: String,
+    scale: Scale,
     seed: u64,
     uplink: bool,
     service: String,
     width: usize,
     out: Option<PathBuf>,
+    threads: Option<usize>,
+    obs: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
          [--scale small|medium|france] [--seed N] [--uplink] \
-         [--service NAME] [--width W] [--out FILE] [--threads N]"
+         [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE]"
     );
     ExitCode::from(2)
 }
@@ -53,18 +58,24 @@ fn parse() -> Result<Args, ExitCode> {
     };
     let mut args = Args {
         command,
-        scale: "small".into(),
-        // The grouping spells the measurement week's start date.
-        #[allow(clippy::inconsistent_digit_grouping)]
-        seed: 2016_09_24,
+        scale: Scale::Small,
+        seed: DEFAULT_SEED,
         uplink: false,
         service: "Twitter".into(),
         width: 72,
         out: None,
+        threads: None,
+        obs: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--scale" => args.scale = argv.next().ok_or_else(usage)?,
+            "--scale" => {
+                let name = argv.next().ok_or_else(usage)?;
+                args.scale = name.parse().map_err(|e: Error| {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                })?;
+            }
             "--seed" => {
                 args.seed = argv
                     .next()
@@ -91,21 +102,13 @@ fn parse() -> Result<Args, ExitCode> {
                 if n == 0 {
                     return Err(usage());
                 }
-                mobilenet::par::set_thread_override(Some(n));
+                args.threads = Some(n);
             }
+            "--obs" => args.obs = Some(PathBuf::from(argv.next().ok_or_else(usage)?)),
             _ => return Err(usage()),
         }
     }
     Ok(args)
-}
-
-fn study_config(scale: &str) -> Option<StudyConfig> {
-    match scale {
-        "small" => Some(StudyConfig::small()),
-        "medium" => Some(StudyConfig::medium()),
-        "france" => Some(StudyConfig::france_scale()),
-        _ => None,
-    }
 }
 
 fn main() -> ExitCode {
@@ -113,21 +116,51 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let Some(config) = study_config(&args.scale) else {
-        eprintln!("unknown scale {:?}; use small|medium|france", args.scale);
-        return ExitCode::from(2);
-    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(code)) => code,
+        Err(CliError::Pipeline(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// CLI failure: either a usage problem (its exit code is already decided)
+/// or a pipeline error to print.
+enum CliError {
+    Usage(ExitCode),
+    Pipeline(Error),
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+fn run(args: &Args) -> Result<(), CliError> {
     let dir = if args.uplink { Direction::Up } else { Direction::Down };
 
     eprintln!("generating {} study (seed {})...", args.scale, args.seed);
-    let study = Study::generate(&config, args.seed);
+    let mut builder = Pipeline::builder().scale(args.scale).seed(args.seed);
+    if let Some(n) = args.threads {
+        builder = builder.threads(n);
+    }
+    // --obs enables collection; MOBILENET_OBS may also carry a path.
+    let obs_path = args.obs.clone().or_else(mobilenet::obs::env_output_path);
+    if args.obs.is_some() {
+        builder = builder.obs(true);
+    }
+    let run = builder.run()?;
+    let study: &Study = run.study();
 
     match args.command.as_str() {
         "overview" => {
-            print!("{}", overview_text(&study));
+            print!("{}", overview_text(study));
         }
         "ranking" => {
-            let r = service_ranking(&study, dir);
+            let r = service_ranking(study, dir);
             println!("{:<4} {:<17} {:<16} {:>8}", "#", "service", "category", "share");
             for (i, s) in r.services.iter().enumerate() {
                 println!(
@@ -145,7 +178,7 @@ fn main() -> ExitCode {
             );
         }
         "peaks" => {
-            let profiles = topical_profiles(&study, dir, &PeakConfig::paper());
+            let profiles = topical_profiles(study, dir, &PeakConfig::paper());
             print!("{:<17}", "service");
             for t in TopicalTime::ALL {
                 print!(" {:>10}", t.label().split(' ').next().unwrap());
@@ -164,10 +197,9 @@ fn main() -> ExitCode {
         }
         "map" => {
             let Some(spec) = study.catalog().by_name(&args.service) else {
-                eprintln!("unknown service {:?}", args.service);
-                return ExitCode::from(2);
+                return Err(Error::UnknownService(args.service.clone()).into());
             };
-            let grid = maps::per_user_map(&study, dir, spec.id.index(), args.width);
+            let grid = maps::per_user_map(study, dir, spec.id.index(), args.width);
             println!(
                 "per-subscriber weekly {} traffic of {} (log scale):",
                 dir.label(),
@@ -176,7 +208,7 @@ fn main() -> ExitCode {
             print!("{}", grid.to_ascii());
         }
         "forecast" => {
-            let report = forecast::forecast_report(&study, dir, 120);
+            let report = forecast::forecast_report(study, dir, 120);
             println!(
                 "{:<17} {:>12} {:>12}",
                 "service", "naive sMAPE", "HW sMAPE"
@@ -191,21 +223,30 @@ fn main() -> ExitCode {
             }
         }
         "export" => {
-            let Some(path) = args.out else {
+            let Some(path) = &args.out else {
                 eprintln!("export needs --out FILE");
-                return ExitCode::from(2);
+                return Err(CliError::Usage(ExitCode::from(2)));
             };
             let csv = study.dataset().to_csv();
-            if let Err(e) = std::fs::write(&path, csv) {
-                eprintln!("writing {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
+            std::fs::write(path, csv).map_err(Error::Io)?;
             eprintln!("dataset written to {}", path.display());
         }
         other => {
             eprintln!("unknown command {other:?}");
-            return usage();
+            return Err(CliError::Usage(usage()));
         }
     }
-    ExitCode::SUCCESS
+
+    // Observability report: JSON when a path was given, and a
+    // human-readable summary on stderr.
+    if mobilenet::obs::enabled() {
+        let snapshot = run.obs_snapshot();
+        if let Some(path) = obs_path {
+            run.write_obs_json(&path)?;
+            eprintln!("observability report written to {}", path.display());
+        } else {
+            eprint!("{}", snapshot.render());
+        }
+    }
+    Ok(())
 }

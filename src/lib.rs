@@ -19,19 +19,25 @@
 //! * [`cluster`] — k-shape, k-means, cluster-quality indices;
 //! * [`core`] — the paper's analyses and figure pipeline;
 //! * [`par`] — the deterministic parallel execution layer (ordered
-//!   scoped-thread map/reduce, `MOBILENET_THREADS`).
+//!   scoped-thread map/reduce, `MOBILENET_THREADS`);
+//! * [`obs`] — the observability layer (span timers, counters, gauges,
+//!   histograms; `MOBILENET_OBS`).
 //!
 //! # Quickstart
 //!
+//! The [`Pipeline`] builder is the single entry point: pick a scale,
+//! maybe tweak the configuration, seed it, run.
+//!
 //! ```no_run
-//! use mobilenet::core::study::{Study, StudyConfig};
 //! use mobilenet::core::ranking::zipf_ranking;
+//! use mobilenet::{Pipeline, Scale};
 //!
 //! // Generate a country, simulate a week of traffic through the
 //! // measurement pipeline, and analyze it.
-//! let study = Study::generate(&StudyConfig::small(), 42);
-//! let fig2 = zipf_ranking(&study);
+//! let run = Pipeline::builder().scale(Scale::Small).seed(42).run()?;
+//! let fig2 = zipf_ranking(run.study());
 //! println!("Zipf exponent: {:.2}", fig2.dl_fit.unwrap().exponent);
+//! # Ok::<(), mobilenet::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -41,6 +47,9 @@ pub use mobilenet_cluster as cluster;
 pub use mobilenet_core as core;
 pub use mobilenet_geo as geo;
 pub use mobilenet_netsim as netsim;
+pub use mobilenet_obs as obs;
 pub use mobilenet_par as par;
 pub use mobilenet_timeseries as timeseries;
 pub use mobilenet_traffic as traffic;
+
+pub use mobilenet_core::{Error, Pipeline, PipelineBuilder, Run, Scale, DEFAULT_SEED};

@@ -4,15 +4,20 @@
 use mobilenet::core::peaks::PeakConfig;
 use mobilenet::core::ranking::zipf_ranking;
 use mobilenet::core::report;
-use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::study::Study;
 use mobilenet::core::temporal::{clustering_sweep, Algorithm};
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::traffic::Direction;
+use mobilenet::{Pipeline, Scale};
+
+fn small(seed: u64) -> Study {
+    Pipeline::builder().scale(Scale::Small).seed(seed).run().unwrap().into_study()
+}
 
 #[test]
 fn identical_seeds_give_identical_figures() {
-    let a = Study::generate(&StudyConfig::small(), 77);
-    let b = Study::generate(&StudyConfig::small(), 77);
+    let a = small(77);
+    let b = small(77);
 
     // Figure 2 byte-for-byte.
     assert_eq!(
@@ -36,8 +41,8 @@ fn identical_seeds_give_identical_figures() {
 
 #[test]
 fn different_seeds_give_different_data_but_the_same_findings() {
-    let a = Study::generate(&StudyConfig::small(), 1);
-    let b = Study::generate(&StudyConfig::small(), 2);
+    let a = small(1);
+    let b = small(2);
 
     // The raw series differ…
     assert_ne!(

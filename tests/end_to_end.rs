@@ -8,16 +8,19 @@ use mobilenet::core::peaks::PeakConfig;
 use mobilenet::core::ranking::{service_ranking, zipf_ranking};
 use mobilenet::core::report;
 use mobilenet::core::spatial::{concentration, spatial_correlation};
-use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::study::Study;
 use mobilenet::core::temporal::{clustering_sweep, Algorithm};
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::core::urbanization::urbanization_profiles;
 use mobilenet::geo::UsageClass;
 use mobilenet::traffic::{Direction, HOURS_PER_WEEK};
+use mobilenet::{Pipeline, Scale};
 
 fn study() -> &'static Study {
     static S: OnceLock<Study> = OnceLock::new();
-    S.get_or_init(|| Study::generate(&StudyConfig::small(), 1234))
+    S.get_or_init(|| {
+        Pipeline::builder().scale(Scale::Small).seed(1234).run().unwrap().into_study()
+    })
 }
 
 #[test]
@@ -132,7 +135,13 @@ fn the_dataset_supports_the_papers_three_headline_claims() {
     // A signature is the set of topical times with a peak plus the peak
     // intensity bucketed to 25% steps — the paper's "diversity of activity
     // peaks, both in timing and intensity".
-    let expected = Study::generate(&StudyConfig::small().expected(), 1234);
+    let expected = Pipeline::builder()
+        .scale(Scale::Small)
+        .expected()
+        .seed(1234)
+        .run()
+        .unwrap()
+        .into_study();
     let profiles = topical_profiles(&expected, Direction::Down, &PeakConfig::paper());
     let mut signatures: Vec<[Option<u8>; 7]> = profiles
         .iter()

@@ -9,23 +9,34 @@ use std::sync::OnceLock;
 use mobilenet::core::peaks::PeakConfig;
 use mobilenet::core::ranking::zipf_ranking;
 use mobilenet::core::spatial::spatial_correlation;
-use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::study::Study;
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::core::urbanization::urbanization_profiles;
 use mobilenet::geo::UsageClass;
 use mobilenet::traffic::{Direction, TopicalTime};
+use mobilenet::{Pipeline, Scale};
 
 /// Expected-value study: isolates the analysis from sampling noise.
 fn expected() -> &'static Study {
     static S: OnceLock<Study> = OnceLock::new();
-    S.get_or_init(|| Study::generate(&StudyConfig::small().expected(), 99))
+    S.get_or_init(|| {
+        Pipeline::builder()
+            .scale(Scale::Small)
+            .expected()
+            .seed(99)
+            .run()
+            .unwrap()
+            .into_study()
+    })
 }
 
 /// Measured study: the same checks must qualitatively survive the full
 /// collection pipeline.
 fn measured() -> &'static Study {
     static S: OnceLock<Study> = OnceLock::new();
-    S.get_or_init(|| Study::generate(&StudyConfig::small(), 99))
+    S.get_or_init(|| {
+        Pipeline::builder().scale(Scale::Small).seed(99).run().unwrap().into_study()
+    })
 }
 
 #[test]

@@ -6,13 +6,17 @@
 //! This is the slowest test in the suite (it generates the 6,000-commune
 //! study the shipped figures use); run with `--release`.
 
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::verdict::{evaluate, verdict_table};
+use mobilenet::{Pipeline, Scale, DEFAULT_SEED};
 
 #[test]
-#[allow(clippy::inconsistent_digit_grouping)] // the seed spells 2016-09-24
 fn all_paper_claims_hold_at_figure_scale() {
-    let study = Study::generate(&StudyConfig::medium(), 2016_09_24);
+    let study = Pipeline::builder()
+        .scale(Scale::Medium)
+        .seed(DEFAULT_SEED)
+        .run()
+        .unwrap()
+        .into_study();
     let claims = evaluate(&study);
     let failures: Vec<String> = claims
         .iter()

@@ -7,16 +7,14 @@
 
 use mobilenet::core::report;
 use mobilenet::core::spatial::spatial_correlation;
-use mobilenet::core::study::{Study, StudyConfig};
 use mobilenet::core::temporal::{clustering_sweep, Algorithm};
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::core::peaks::PeakConfig;
 use mobilenet::par::set_thread_override;
 use mobilenet::traffic::Direction;
+use mobilenet::{Pipeline, Scale, DEFAULT_SEED};
 
-// The grouping spells the measurement week's start date, 2016-09-24.
-#[allow(clippy::inconsistent_digit_grouping)]
-const SEED: u64 = 2016_09_24;
+const SEED: u64 = DEFAULT_SEED;
 
 /// Everything downstream analyses consume, rendered to exact text.
 struct Snapshot {
@@ -27,7 +25,8 @@ struct Snapshot {
 }
 
 fn snapshot() -> Snapshot {
-    let study = Study::generate(&StudyConfig::small(), SEED);
+    let study =
+        Pipeline::builder().scale(Scale::Small).seed(SEED).run().unwrap().into_study();
     let sweep = clustering_sweep(&study, Direction::Down, Algorithm::KShape, 3);
     let corr = spatial_correlation(&study, Direction::Down);
     let profiles = topical_profiles(&study, Direction::Down, &PeakConfig::paper());

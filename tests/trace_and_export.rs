@@ -5,14 +5,19 @@ use std::sync::{Arc, OnceLock};
 
 use mobilenet::core::ranking::service_ranking;
 use mobilenet::core::spatial::spatial_correlation;
-use mobilenet::core::study::{Study, StudyConfig};
+use mobilenet::core::study::Study;
 use mobilenet::geo::{Country, CountryConfig};
 use mobilenet::netsim::{collect, observe_sessions, replay, trace_from_csv, trace_to_csv, NetsimConfig};
 use mobilenet::traffic::{DemandModel, Direction, ServiceCatalog, TrafficConfig, TrafficDataset};
+use mobilenet::{Pipeline, Scale};
+
+fn small(seed: u64) -> Study {
+    Pipeline::builder().scale(Scale::Small).seed(seed).run().unwrap().into_study()
+}
 
 fn study() -> &'static Study {
     static S: OnceLock<Study> = OnceLock::new();
-    S.get_or_init(|| Study::generate(&StudyConfig::small(), 555))
+    S.get_or_init(|| small(555))
 }
 
 #[test]
@@ -67,8 +72,8 @@ fn probe_trace_capture_and_replay_match_the_pipeline() {
 
 #[test]
 fn export_is_stable_across_identical_runs() {
-    let a = Study::generate(&StudyConfig::small(), 77).dataset().to_csv();
-    let b = Study::generate(&StudyConfig::small(), 77).dataset().to_csv();
+    let a = small(77).dataset().to_csv();
+    let b = small(77).dataset().to_csv();
     assert_eq!(a, b, "export must be byte-identical for identical seeds");
 }
 
