@@ -6,7 +6,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect, NetsimConfig};
+use mobilenet_netsim::{collect, collect_with_faults, FaultPlan, NetsimConfig};
 use mobilenet_traffic::{DemandModel, ServiceCatalog, SessionGenerator, TrafficConfig};
 
 fn bench_country(c: &mut Criterion) {
@@ -46,6 +46,10 @@ fn bench_collect(c: &mut Criterion) {
     let netsim = NetsimConfig::standard();
     c.bench_function("collect_pipeline_1k_fast", |b| {
         b.iter(|| collect(&model, &netsim, 1));
+    });
+    let degraded = FaultPlan::degraded(1);
+    c.bench_function("collect_pipeline_1k_fast_degraded", |b| {
+        b.iter(|| collect_with_faults(&model, &netsim, &degraded, 1).unwrap());
     });
     c.bench_function("expected_dataset_1k", |b| {
         b.iter(|| model.expected_dataset());

@@ -72,5 +72,6 @@ pub mod urbanization;
 pub mod verdict;
 
 pub use error::Error;
+pub use mobilenet_netsim::{FaultPlan, FaultStats, OutageWindow};
 pub use pipeline::{Pipeline, PipelineBuilder, Run, Scale, DEFAULT_SEED};
 pub use study::{Study, StudyConfig};

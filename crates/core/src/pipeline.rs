@@ -26,7 +26,7 @@ use std::path::Path;
 use std::str::FromStr;
 
 use mobilenet_geo::Country;
-use mobilenet_netsim::{CollectionStats, SessionRecord};
+use mobilenet_netsim::{CollectionStats, FaultPlan, SessionRecord};
 use mobilenet_traffic::{ServiceCatalog, TrafficDataset};
 
 use crate::error::Error;
@@ -149,6 +149,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Installs a capture-path fault plan (probe outages, record loss,
+    /// duplication, counter truncation, clock skew). The default
+    /// [`FaultPlan::none`] reproduces the historical fault-free pipeline
+    /// bit for bit.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
     /// Sets the master seed (default: [`DEFAULT_SEED`]).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -178,6 +187,7 @@ impl PipelineBuilder {
     /// any thread count, with or without observability.
     pub fn run(self) -> Result<Run, Error> {
         self.config.netsim.validate().map_err(Error::Config)?;
+        self.config.faults.validate().map_err(Error::Config)?;
         if let Some(enabled) = self.obs {
             mobilenet_obs::set_enabled(Some(enabled));
         }
@@ -294,6 +304,30 @@ mod tests {
             .configure(|c| c.netsim.stations_per_10k_pop = -1.0)
             .run();
         assert!(matches!(result, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_not_panicked() {
+        let result = Pipeline::builder()
+            .faults(FaultPlan { loss_prob: 1.5, ..FaultPlan::none() })
+            .run();
+        assert!(matches!(result, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_the_default_pipeline() {
+        let plain = Pipeline::builder().seed(11).run().unwrap();
+        let zeroed = Pipeline::builder().seed(11).faults(FaultPlan::none()).run().unwrap();
+        assert_eq!(plain.dataset().to_csv(), zeroed.dataset().to_csv());
+    }
+
+    #[test]
+    fn faulted_pipeline_degrades_and_reports_counters() {
+        let run = Pipeline::builder().seed(11).faults(FaultPlan::degraded(3)).run().unwrap();
+        let stats = run.collection_stats().expect("measured run has stats");
+        assert!(stats.faults.any(), "degraded plan must register fault events");
+        assert!(stats.faults.lost_total() > 0);
+        assert!(run.dataset().total(Direction::Down) > 0.0, "degraded ≠ empty");
     }
 
     #[test]

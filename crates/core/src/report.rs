@@ -276,6 +276,21 @@ pub fn overview_text(study: &crate::study::Study) -> String {
         let _ = writeln!(out, "classification rate: {:.4}", stats.classification_rate());
         let _ = writeln!(out, "median localization error: {:.2} km", stats.median_error_km());
         let _ = writeln!(out, "commune misassignment: {:.4}", stats.misassignment_rate());
+        if stats.faults.any() || stats.skipped_lines > 0 {
+            let f = &stats.faults;
+            let _ = writeln!(
+                out,
+                "degraded capture: {} lost ({} outage, {} random), {} duplicated, \
+                 {} truncated, {} skewed, {} trace lines skipped",
+                f.lost_total(),
+                f.lost_outage,
+                f.lost_records,
+                f.duplicated_records,
+                f.truncated_records,
+                f.skewed_records,
+                stats.skipped_lines
+            );
+        }
     }
     out
 }
@@ -377,6 +392,23 @@ mod tests {
         assert!(text.contains("communes: 1000"));
         assert!(text.contains("classification rate"));
         assert!(text.contains("uplink fraction"));
+        assert!(
+            !text.contains("degraded capture"),
+            "fault-free study must not report degradation"
+        );
+    }
+
+    #[test]
+    fn overview_reports_degraded_capture() {
+        use crate::study::StudyConfig;
+        use mobilenet_netsim::FaultPlan;
+        let s = Study::generate_inner(
+            &StudyConfig::small().with_faults(FaultPlan::degraded(7)),
+            7,
+        );
+        let text = overview_text(&s);
+        assert!(text.contains("degraded capture:"), "{text}");
+        assert!(text.contains("duplicated"));
     }
 
     #[test]

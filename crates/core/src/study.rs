@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect, CollectionStats, NetsimConfig};
+use mobilenet_netsim::{collect_with_faults, CollectionStats, FaultPlan, NetsimConfig};
 use mobilenet_traffic::{DemandModel, ServiceCatalog, TrafficConfig, TrafficDataset};
 
 /// Complete configuration of a study.
@@ -21,6 +21,9 @@ pub struct StudyConfig {
     pub traffic: TrafficConfig,
     /// Measurement-pipeline parameters.
     pub netsim: NetsimConfig,
+    /// Capture-path fault plan (default: [`FaultPlan::none`], the benign
+    /// apparatus every scale historically assumed).
+    pub faults: FaultPlan,
     /// Use the full session-level measurement pipeline (`true`) or the
     /// noise-free expected-value path (`false`).
     pub measured: bool,
@@ -33,6 +36,7 @@ impl StudyConfig {
             country: CountryConfig::small(),
             traffic: TrafficConfig::fast(),
             netsim: NetsimConfig::standard(),
+            faults: FaultPlan::none(),
             measured: true,
         }
     }
@@ -43,6 +47,7 @@ impl StudyConfig {
             country: CountryConfig::medium(),
             traffic: TrafficConfig::standard(),
             netsim: NetsimConfig::standard(),
+            faults: FaultPlan::none(),
             measured: true,
         }
     }
@@ -53,6 +58,7 @@ impl StudyConfig {
             country: CountryConfig::france_scale(),
             traffic: TrafficConfig::standard(),
             netsim: NetsimConfig::standard(),
+            faults: FaultPlan::none(),
             measured: true,
         }
     }
@@ -60,6 +66,12 @@ impl StudyConfig {
     /// The same scale without measurement noise (expectations only).
     pub fn expected(mut self) -> Self {
         self.measured = false;
+        self
+    }
+
+    /// The same scale with a capture-path fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -100,7 +112,8 @@ impl Study {
             DemandModel::new(country.clone(), catalog.clone(), config.traffic.clone(), seed);
         drop(model_span);
         let (dataset, collection_stats) = if config.measured {
-            let out = collect(&model, &config.netsim, seed);
+            let out = collect_with_faults(&model, &config.netsim, &config.faults, seed)
+                .expect("configuration validated by the pipeline builder");
             (out.dataset, Some(out.stats))
         } else {
             let _expected_span = mobilenet_obs::span("expected_dataset");

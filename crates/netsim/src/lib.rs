@@ -28,12 +28,17 @@
 //!   [`TrafficDataset`](mobilenet_traffic::TrafficDataset), with
 //!   collection statistics (classification rate, localization error,
 //!   commune misassignment).
+//! * [`faults`] — the deterministic fault-injection layer: probe outage
+//!   windows, record loss/duplication, counter truncation, clock skew and
+//!   trace corruption, applied between probe and aggregation so the
+//!   pipeline degrades gracefully instead of assuming benign capture.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classifier;
 pub mod config;
+pub mod faults;
 pub mod pipeline;
 pub mod probe;
 pub mod radio;
@@ -43,9 +48,14 @@ pub mod uli;
 
 pub use classifier::DpiClassifier;
 pub use config::NetsimConfig;
-pub use pipeline::{collect, CollectionOutput, CollectionStats};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, OutageWindow};
+pub use pipeline::{collect, collect_with_faults, CollectionOutput, CollectionStats};
 pub use probe::Probe;
 pub use radio::RadioNetwork;
-pub use trace::{observe_sessions, replay, trace_from_csv, trace_to_csv, TraceError};
+pub use trace::{
+    observe_sessions, observe_sessions_with_faults, replay, replay_lossy, trace_from_csv,
+    trace_from_csv_lossy, trace_to_csv, trace_to_csv_faulty, CaptureSummary, LossyReplay,
+    LossyTrace, TraceError,
+};
 pub use records::{Interface, SessionRecord};
 pub use uli::UliModel;

@@ -19,9 +19,10 @@ use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset
 
 use crate::classifier::{DpiClassifier, ServiceLabel};
 use crate::config::NetsimConfig;
+use crate::faults::{FaultInjector, FaultPlan, FaultStats};
 use crate::probe::Probe;
 use crate::radio::RadioNetwork;
-use crate::records::Interface;
+use crate::records::{Interface, SessionRecord};
 use crate::uli::UliModel;
 
 /// Diagnostics of one collection run.
@@ -43,6 +44,12 @@ pub struct CollectionStats {
     pub stale_fixes: u64,
     /// Sampled localization errors, km (every 16th session of each shard).
     pub sampled_errors_km: Vec<f64>,
+    /// Degradation inflicted by the fault plan (all-zero when collecting
+    /// with [`FaultPlan::none`]).
+    pub faults: FaultStats,
+    /// Malformed trace lines skipped by a lossy replay (zero on the
+    /// direct collection path).
+    pub skipped_lines: u64,
 }
 
 impl CollectionStats {
@@ -60,6 +67,8 @@ impl CollectionStats {
         self.misassigned_sessions += other.misassigned_sessions;
         self.stale_fixes += other.stale_fixes;
         self.sampled_errors_km.extend_from_slice(&other.sampled_errors_km);
+        self.faults.merge(&other.faults);
+        self.skipped_lines += other.skipped_lines;
     }
 
     /// Fraction of the volume the classifier attributed to a service.
@@ -80,12 +89,15 @@ impl CollectionStats {
     }
 
     /// Median of the sampled localization errors, km.
+    ///
+    /// NaN-safe: a corrupt sample cannot panic the sort ([`f64::total_cmp`]
+    /// orders NaN after every finite value).
     pub fn median_error_km(&self) -> f64 {
         if self.sampled_errors_km.is_empty() {
             return 0.0;
         }
         let mut s = self.sampled_errors_km.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(f64::total_cmp);
         s[s.len() / 2]
     }
 }
@@ -139,14 +151,87 @@ pub(crate) fn probe_shard_rng(seed: u64, shard: usize) -> StdRng {
     ))
 }
 
+/// Classifies one (possibly degraded) record and folds it into the shard's
+/// partial dataset and diagnostics. Shared by the fault-free and faulted
+/// paths so a [`FaultPlan::none`] collection is bit-identical to one that
+/// never touched the fault layer.
+fn aggregate_record(
+    record: &SessionRecord,
+    classifier: &DpiClassifier,
+    dataset: &mut TrafficDataset,
+    stats: &mut CollectionStats,
+) {
+    match record.interface {
+        Interface::Gn => stats.gn_records += 1,
+        Interface::S5S8 => stats.s5s8_records += 1,
+    }
+    match classifier.classify(record.signature) {
+        ServiceLabel::Head(s) => {
+            stats.classified_mb += record.dl_mb + record.ul_mb;
+            dataset.add(
+                Direction::Down,
+                s as usize,
+                record.commune,
+                record.start_hour as usize,
+                record.dl_mb,
+            );
+            dataset.add(
+                Direction::Up,
+                s as usize,
+                record.commune,
+                record.start_hour as usize,
+                record.ul_mb,
+            );
+        }
+        ServiceLabel::Tail(t) => {
+            // Tail sessions are not generated by the session sampler;
+            // reaching this arm would indicate a fingerprint collision.
+            stats.classified_mb += record.dl_mb + record.ul_mb;
+            dataset.add_tail(Direction::Down, t as usize, record.dl_mb);
+            dataset.add_tail(Direction::Up, t as usize, record.ul_mb);
+        }
+        ServiceLabel::Unclassified => {
+            stats.unclassified_mb += record.dl_mb + record.ul_mb;
+            dataset.add_unclassified(Direction::Down, record.dl_mb);
+            dataset.add_unclassified(Direction::Up, record.ul_mb);
+        }
+    }
+}
+
 /// Runs the full measurement pipeline over one week of synthetic demand.
 ///
 /// `seed` drives session sampling, localization noise and classification
 /// loss; runs are fully deterministic in `(model, config, seed)` — and,
 /// because per-service shards draw from derived RNG streams and merge in
 /// shard order, independent of `MOBILENET_THREADS`.
+///
+/// Convenience wrapper over [`collect_with_faults`] with the identity
+/// [`FaultPlan`]; panics on an invalid `config` (the
+/// `Pipeline::builder()` entry point validates up front instead).
 pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
-    config.validate().expect("invalid NetsimConfig");
+    collect_with_faults(model, config, &FaultPlan::none(), seed).expect("invalid NetsimConfig")
+}
+
+/// Like [`collect`], but degrades the record stream through `faults`
+/// between probe observation and aggregation, and reports configuration
+/// problems as an `Err` instead of panicking.
+///
+/// Fault decisions draw from their own per-shard RNG streams, so
+/// `collect_with_faults(m, c, &FaultPlan::none(), s)` is **bit-identical**
+/// to the historical fault-free `collect(m, c, s)`, and any plan is
+/// bit-identical at any thread count. Session-level diagnostics
+/// (`sessions`, `stale_fixes`, `misassigned_sessions`,
+/// `sampled_errors_km`) describe the pre-fault probe stream; the record
+/// counters (`gn_records`, `s5s8_records`, volume counters) describe what
+/// survived degradation and was aggregated.
+pub fn collect_with_faults(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<CollectionOutput, String> {
+    config.validate()?;
+    faults.validate()?;
     let _collect_span = mobilenet_obs::span("collect");
     let country = model.country();
     let catalog = model.catalog();
@@ -166,18 +251,18 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
     };
 
     // One partial (dataset, stats) per service shard.
+    let injector = FaultInjector::new(faults);
+    let faulted = !faults.is_none();
     let shards_span = mobilenet_obs::span("shards");
     let partials = mobilenet_par::par_map_collect(generator.shards(), |shard| {
         let mut dataset = new_dataset();
         let mut stats = CollectionStats::default();
+        let mut fault_stats = FaultStats::default();
         let mut probe_rng = probe_shard_rng(seed, shard);
+        let mut fault_rng = injector.shard_rng(seed, shard);
         generator.generate_shard(shard, |session| {
             let record = probe.observe(session, &mut probe_rng);
             stats.sessions += 1;
-            match record.interface {
-                Interface::Gn => stats.gn_records += 1,
-                Interface::S5S8 => stats.s5s8_records += 1,
-            }
             if record.stale_uli {
                 stats.stale_fixes += 1;
             }
@@ -196,39 +281,15 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
                     .sampled_errors_km
                     .push(session.position.distance(&recorded.centroid));
             }
-            match classifier.classify(record.signature) {
-                ServiceLabel::Head(s) => {
-                    stats.classified_mb += record.dl_mb + record.ul_mb;
-                    dataset.add(
-                        Direction::Down,
-                        s as usize,
-                        record.commune,
-                        record.start_hour as usize,
-                        record.dl_mb,
-                    );
-                    dataset.add(
-                        Direction::Up,
-                        s as usize,
-                        record.commune,
-                        record.start_hour as usize,
-                        record.ul_mb,
-                    );
-                }
-                ServiceLabel::Tail(t) => {
-                    // Tail sessions are not generated by the session
-                    // sampler; reaching this arm would indicate a
-                    // fingerprint collision.
-                    stats.classified_mb += record.dl_mb + record.ul_mb;
-                    dataset.add_tail(Direction::Down, t as usize, record.dl_mb);
-                    dataset.add_tail(Direction::Up, t as usize, record.ul_mb);
-                }
-                ServiceLabel::Unclassified => {
-                    stats.unclassified_mb += record.dl_mb + record.ul_mb;
-                    dataset.add_unclassified(Direction::Down, record.dl_mb);
-                    dataset.add_unclassified(Direction::Up, record.ul_mb);
-                }
+            if faulted {
+                injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {
+                    aggregate_record(degraded, &classifier, &mut dataset, &mut stats);
+                });
+            } else {
+                aggregate_record(&record, &classifier, &mut dataset, &mut stats);
             }
         });
+        stats.faults = fault_stats;
         (dataset, stats)
     });
     drop(shards_span);
@@ -248,9 +309,9 @@ pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> Collect
     model.fill_tail(&mut dataset);
     drop(merge_span);
 
-    record_collection_metrics(&stats);
+    record_collection_metrics(&stats, faulted);
 
-    CollectionOutput { dataset, stats }
+    Ok(CollectionOutput { dataset, stats })
 }
 
 /// Bucket edges (km) of the `netsim.uli_error_km` displacement histogram:
@@ -262,8 +323,10 @@ const ULI_ERROR_EDGES_KM: [f64; 8] = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 15.0, 30.0];
 /// Called once per collection, after the shard-ordered merge, from a
 /// single thread — so the `f64` byte counters and the histogram sum
 /// accumulate in a fixed order and every recorded value is bit-identical
-/// at any thread count.
-fn record_collection_metrics(stats: &CollectionStats) {
+/// at any thread count. The `netsim.faults.*` group is only emitted for
+/// collections run under an active fault plan, so fault-free obs reports
+/// keep their historical shape.
+fn record_collection_metrics(stats: &CollectionStats, faulted: bool) {
     if !mobilenet_obs::enabled() {
         return;
     }
@@ -274,6 +337,13 @@ fn record_collection_metrics(stats: &CollectionStats) {
     mobilenet_obs::add("netsim.misassigned_sessions", stats.misassigned_sessions);
     mobilenet_obs::add_f64("netsim.classified_mb", stats.classified_mb);
     mobilenet_obs::add_f64("netsim.unclassified_mb", stats.unclassified_mb);
+    if faulted {
+        mobilenet_obs::add("netsim.faults.lost_outage", stats.faults.lost_outage);
+        mobilenet_obs::add("netsim.faults.lost_records", stats.faults.lost_records);
+        mobilenet_obs::add("netsim.faults.duplicated_records", stats.faults.duplicated_records);
+        mobilenet_obs::add("netsim.faults.truncated_records", stats.faults.truncated_records);
+        mobilenet_obs::add("netsim.faults.skewed_records", stats.faults.skewed_records);
+    }
     for &err in &stats.sampled_errors_km {
         mobilenet_obs::observe("netsim.uli_error_km", err, &ULI_ERROR_EDGES_KM);
     }
@@ -372,6 +442,77 @@ mod tests {
             a.dataset.national_weekly(Direction::Down, 0),
             b.dataset.national_weekly(Direction::Down, 0)
         );
+    }
+
+    #[test]
+    fn median_error_survives_nan_samples() {
+        // A corrupt sample (e.g. a poisoned trace) must not panic the
+        // sort; total_cmp orders NaN after every finite value.
+        let stats = CollectionStats {
+            sampled_errors_km: vec![3.0, f64::NAN, 1.0, 2.0, f64::NAN],
+            ..CollectionStats::default()
+        };
+        let median = stats.median_error_km();
+        assert_eq!(median, 3.0, "NaNs sort last; the middle of 5 samples is the finite max");
+        let empty = CollectionStats::default();
+        assert_eq!(empty.median_error_km(), 0.0);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_plain_collect() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let plain = collect(&m, &cfg, 12);
+        let faultless = collect_with_faults(&m, &cfg, &crate::FaultPlan::none(), 12).unwrap();
+        assert_eq!(plain.dataset.to_csv(), faultless.dataset.to_csv());
+        assert_eq!(plain.stats.sessions, faultless.stats.sessions);
+        assert_eq!(plain.stats.classified_mb, faultless.stats.classified_mb);
+        assert!(!faultless.stats.faults.any());
+    }
+
+    #[test]
+    fn faulted_collection_degrades_without_panicking() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let clean = collect(&m, &cfg, 13);
+        let mut plan = crate::FaultPlan::degraded(13);
+        plan.loss_prob = 0.10;
+        let out = collect_with_faults(&m, &cfg, &plan, 13).unwrap();
+        let f = &out.stats.faults;
+        assert!(f.lost_outage > 0, "Gn outage window must drop records: {f:?}");
+        assert!(f.lost_records > 0 && f.duplicated_records > 0);
+        assert!(f.truncated_records > 0 && f.skewed_records > 0);
+        // Sessions are a pre-fault diagnostic; aggregated records shrink.
+        assert_eq!(out.stats.sessions, clean.stats.sessions);
+        let kept = out.stats.gn_records + out.stats.s5s8_records;
+        assert_eq!(kept, out.stats.sessions - f.lost_total() + f.duplicated_records);
+        assert!(
+            out.dataset.total(mobilenet_traffic::Direction::Down)
+                < clean.dataset.total(mobilenet_traffic::Direction::Down),
+            "10% loss must outweigh 1% duplication"
+        );
+    }
+
+    #[test]
+    fn faulted_collection_is_deterministic() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let plan = crate::FaultPlan::degraded(5);
+        let a = collect_with_faults(&m, &cfg, &plan, 14).unwrap();
+        let b = collect_with_faults(&m, &cfg, &plan, 14).unwrap();
+        assert_eq!(a.dataset.to_csv(), b.dataset.to_csv());
+        assert_eq!(a.stats.faults, b.stats.faults);
+    }
+
+    #[test]
+    fn invalid_config_or_plan_is_an_error_not_a_panic() {
+        let m = model();
+        let mut cfg = NetsimConfig::standard();
+        cfg.routing_area_km = -1.0;
+        assert!(collect_with_faults(&m, &cfg, &crate::FaultPlan::none(), 1).is_err());
+        let mut plan = crate::FaultPlan::none();
+        plan.loss_prob = 7.0;
+        assert!(collect_with_faults(&m, &NetsimConfig::standard(), &plan, 1).is_err());
     }
 
     #[test]

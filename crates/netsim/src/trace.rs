@@ -7,13 +7,25 @@
 //! stage into a [`TrafficDataset`] — so a captured trace can be
 //! re-aggregated under different classifier tables without re-simulating
 //! the radio layer.
+//!
+//! Capture and replay both understand degraded collection: a
+//! [`FaultPlan`] degrades the captured stream exactly as
+//! [`collect_with_faults`](crate::pipeline::collect_with_faults) would
+//! (see [`observe_sessions_with_faults`]), corrupts serialized lines
+//! ([`trace_to_csv_faulty`]), and [`replay_lossy`] skips-and-counts
+//! malformed or non-finite lines (with 1-based line numbers) instead of
+//! aborting the whole replay.
 
 use mobilenet_geo::CommuneId;
-use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset};
+use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset, HOURS_PER_WEEK};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::classifier::{DpiClassifier, ServiceLabel};
 use crate::config::NetsimConfig;
-use crate::pipeline::{build_capture, probe_shard_rng};
+use crate::faults::{FaultInjector, FaultPlan, FaultStats};
+use crate::pipeline::{build_capture, probe_shard_rng, CollectionStats};
 use crate::probe::Probe;
 use crate::records::{FlowSignature, Interface, SessionRecord};
 use crate::uli::UliModel;
@@ -21,32 +33,74 @@ use crate::uli::UliModel;
 /// CSV header of a trace file.
 pub const TRACE_HEADER: &str = "#mobilenet-trace v1";
 
+/// What one capture run saw and emitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureSummary {
+    /// Sessions observed by the probes (pre-fault).
+    pub sessions: u64,
+    /// Records actually delivered to the sink (post-fault).
+    pub emitted: u64,
+    /// Degradation the fault plan inflicted.
+    pub faults: FaultStats,
+}
+
 /// Runs the capture side only: sessions → probes → `sink`, one record per
 /// session, without aggregation. Deterministic in `(model, config, seed)`
 /// and produces exactly the records [`crate::pipeline::collect`] would
 /// aggregate: the capture iterates the same per-service shards with the
 /// same derived RNG streams, serially in shard order (the trace is an
 /// ordered artefact, so the stream itself is not parallelized).
+///
+/// Returns the number of sessions observed, or an `Err` describing why
+/// the configuration is invalid.
 pub fn observe_sessions(
     model: &DemandModel,
     config: &NetsimConfig,
     seed: u64,
+    sink: impl FnMut(&SessionRecord),
+) -> Result<u64, String> {
+    observe_sessions_with_faults(model, config, &FaultPlan::none(), seed, sink)
+        .map(|summary| summary.sessions)
+}
+
+/// Like [`observe_sessions`], but degrades the stream through `faults`
+/// between probe observation and the sink — the same per-shard fault RNG
+/// streams [`collect_with_faults`](crate::pipeline::collect_with_faults)
+/// uses, so a captured trace contains exactly the records a faulted
+/// collection would aggregate.
+pub fn observe_sessions_with_faults(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    faults: &FaultPlan,
+    seed: u64,
     mut sink: impl FnMut(&SessionRecord),
-) -> u64 {
-    config.validate().expect("invalid NetsimConfig");
+) -> Result<CaptureSummary, String> {
+    config.validate()?;
+    faults.validate()?;
     let (radio, classifier, directions) = build_capture(model, config, seed);
     let probe = Probe::new(&radio, UliModel::new(config), &classifier)
         .with_movement_directions(directions);
     let generator = SessionGenerator::new(model, seed);
-    let mut count = 0u64;
+    let injector = FaultInjector::new(faults);
+    let faulted = !faults.is_none();
+    let mut summary = CaptureSummary::default();
     for shard in 0..generator.shards() {
         let mut probe_rng = probe_shard_rng(seed, shard);
-        count += generator.generate_shard(shard, |session| {
+        let mut fault_rng = injector.shard_rng(seed, shard);
+        summary.sessions += generator.generate_shard(shard, |session| {
             let record = probe.observe(session, &mut probe_rng);
-            sink(&record);
+            if faulted {
+                injector.apply(&record, &mut fault_rng, &mut summary.faults, |degraded| {
+                    summary.emitted += 1;
+                    sink(degraded);
+                });
+            } else {
+                summary.emitted += 1;
+                sink(&record);
+            }
         });
     }
-    count
+    Ok(summary)
 }
 
 /// Serializes one record as a CSV line (no trailing newline).
@@ -67,6 +121,10 @@ pub fn record_to_line(r: &SessionRecord) -> String {
 }
 
 /// Parses a line written by [`record_to_line`].
+///
+/// Rejects anything that could poison downstream aggregates: non-finite
+/// or negative volumes, and a `start_hour` outside the measurement week
+/// (`0..168`).
 pub fn record_from_line(line: &str) -> Result<SessionRecord, String> {
     let fields: Vec<&str> = line.split(',').collect();
     if fields.len() != 7 {
@@ -78,8 +136,23 @@ pub fn record_from_line(line: &str) -> Result<SessionRecord, String> {
         other => return Err(format!("unknown interface {other:?}")),
     };
     let start_hour: u16 = fields[1].parse().map_err(|e| format!("bad hour: {e}"))?;
-    let dl_mb: f64 = fields[2].parse().map_err(|e| format!("bad dl: {e}"))?;
-    let ul_mb: f64 = fields[3].parse().map_err(|e| format!("bad ul: {e}"))?;
+    if start_hour >= HOURS_PER_WEEK as u16 {
+        return Err(format!(
+            "start hour {start_hour} outside the week (0..{HOURS_PER_WEEK})"
+        ));
+    }
+    let volume = |name: &str, v: &str| -> Result<f64, String> {
+        let parsed: f64 = v.parse().map_err(|e| format!("bad {name}: {e}"))?;
+        if !parsed.is_finite() {
+            return Err(format!("non-finite {name} volume {parsed}"));
+        }
+        if parsed < 0.0 {
+            return Err(format!("negative {name} volume {parsed}"));
+        }
+        Ok(parsed)
+    };
+    let dl_mb = volume("dl", fields[2])?;
+    let ul_mb = volume("ul", fields[3])?;
     let commune: u32 = fields[4].parse().map_err(|e| format!("bad commune: {e}"))?;
     let sig = fields[5]
         .strip_prefix("0x")
@@ -112,6 +185,59 @@ pub fn trace_to_csv<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) ->
     out
 }
 
+/// Serializes a trace while corrupting a `plan.corrupt_prob` fraction of
+/// the data lines, deterministically in `plan.seed` — the storage-layer
+/// half of the fault model (probes wrote fine, the file rotted). The
+/// corruption modes (truncated line, `NaN` volume, out-of-week hour,
+/// mangled interface) all trip [`record_from_line`]'s hardened parser, so
+/// a corrupted line is *detectably* bad rather than silently poisonous.
+pub fn trace_to_csv_faulty<'a>(
+    records: impl IntoIterator<Item = &'a SessionRecord>,
+    plan: &FaultPlan,
+) -> String {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x7472_6163_6563_7272); // "tracecrr"
+    let mut out = String::from(TRACE_HEADER);
+    out.push('\n');
+    for r in records {
+        let line = record_to_line(r);
+        if plan.corrupt_prob > 0.0 && rng.gen::<f64>() < plan.corrupt_prob {
+            out.push_str(&corrupt_line(&line, &mut rng));
+        } else {
+            out.push_str(&line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Mangles one serialized record in one of four ways a real storage or
+/// transport layer produces.
+fn corrupt_line(line: &str, rng: &mut StdRng) -> String {
+    let fields: Vec<&str> = line.split(',').collect();
+    match rng.gen_range(0usize..4) {
+        // Torn write: the tail of the line is gone.
+        0 => line[..line.len() / 2].to_string(),
+        // Counter glitch: the downlink volume becomes NaN.
+        1 => {
+            let mut f = fields.clone();
+            f[2] = "NaN";
+            f.join(",")
+        }
+        // Clock corruption: an impossible hour-of-week.
+        2 => {
+            let mut f = fields.clone();
+            f[1] = "999";
+            f.join(",")
+        }
+        // Bit rot in the interface tag.
+        _ => {
+            let mut f = fields.clone();
+            f[0] = "g?";
+            f.join(",")
+        }
+    }
+}
+
 /// A parse failure in [`trace_from_csv`], locating the offending row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceError {
@@ -129,9 +255,11 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-/// Parses a trace written by [`trace_to_csv`].
+/// Parses a trace written by [`trace_to_csv`], strictly: the first bad
+/// line aborts the parse.
 ///
-/// Errors carry the 1-based line number of the offending row.
+/// Errors carry the 1-based line number of the offending row. For traces
+/// from degraded collection, use [`trace_from_csv_lossy`] instead.
 pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, TraceError> {
     let mut lines = text.lines();
     match lines.next() {
@@ -151,6 +279,95 @@ pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, TraceError> {
         .collect()
 }
 
+/// A lossy trace parse: the records that survived plus every skipped
+/// line's error.
+#[derive(Debug, Clone)]
+pub struct LossyTrace {
+    /// Records that parsed cleanly, in file order.
+    pub records: Vec<SessionRecord>,
+    /// One line-numbered error per skipped row.
+    pub skipped: Vec<TraceError>,
+}
+
+/// Parses a trace leniently: malformed or non-finite rows are skipped and
+/// counted (with their 1-based line numbers) instead of aborting.
+///
+/// Only a missing or unsupported header is fatal — without it the file is
+/// not a trace at all.
+pub fn trace_from_csv_lossy(text: &str) -> Result<LossyTrace, TraceError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(TRACE_HEADER) => {}
+        _ => {
+            return Err(TraceError {
+                line: 1,
+                message: "missing/unsupported trace header".into(),
+            })
+        }
+    }
+    let mut records = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, line) in lines.enumerate() {
+        match record_from_line(line) {
+            Ok(r) => records.push(r),
+            Err(message) => skipped.push(TraceError { line: i + 2, message }),
+        }
+    }
+    Ok(LossyTrace { records, skipped })
+}
+
+/// Replays one record through the classifier into `ds`, accumulating the
+/// replay-side diagnostics.
+fn replay_record(
+    r: &SessionRecord,
+    classifier: &DpiClassifier,
+    ds: &mut TrafficDataset,
+    stats: &mut CollectionStats,
+) {
+    stats.sessions += 1;
+    match r.interface {
+        Interface::Gn => stats.gn_records += 1,
+        Interface::S5S8 => stats.s5s8_records += 1,
+    }
+    if r.stale_uli {
+        stats.stale_fixes += 1;
+    }
+    match classifier.classify(r.signature) {
+        ServiceLabel::Head(s) => {
+            stats.classified_mb += r.dl_mb + r.ul_mb;
+            ds.add(Direction::Down, s as usize, r.commune, r.start_hour as usize, r.dl_mb);
+            ds.add(Direction::Up, s as usize, r.commune, r.start_hour as usize, r.ul_mb);
+        }
+        ServiceLabel::Tail(t) => {
+            stats.classified_mb += r.dl_mb + r.ul_mb;
+            ds.add_tail(Direction::Down, t as usize, r.dl_mb);
+            ds.add_tail(Direction::Up, t as usize, r.ul_mb);
+        }
+        ServiceLabel::Unclassified => {
+            stats.unclassified_mb += r.dl_mb + r.ul_mb;
+            ds.add_unclassified(Direction::Down, r.dl_mb);
+            ds.add_unclassified(Direction::Up, r.ul_mb);
+        }
+    }
+}
+
+/// Builds the replay-side classifier and empty dataset for `model`.
+fn replay_setup(model: &DemandModel) -> (DpiClassifier, TrafficDataset) {
+    let catalog = model.catalog();
+    let classifier = DpiClassifier::new(
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().classified_fraction,
+    );
+    let ds = TrafficDataset::new(
+        model.country(),
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().subscriber_share,
+    );
+    (classifier, ds)
+}
+
 /// Replays records through a classifier into a dataset shaped like
 /// `model`'s country. The tail table is filled from the demand model
 /// afterwards, exactly as [`crate::pipeline::collect`] does.
@@ -158,42 +375,50 @@ pub fn replay<'a>(
     records: impl IntoIterator<Item = &'a SessionRecord>,
     model: &DemandModel,
 ) -> TrafficDataset {
-    let catalog = model.catalog();
-    let classifier = DpiClassifier::new(
-        catalog.head().len(),
-        catalog.tail_len(),
-        model.config().classified_fraction,
-    );
-    let mut ds = TrafficDataset::new(
-        model.country(),
-        catalog.head().len(),
-        catalog.tail_len(),
-        model.config().subscriber_share,
-    );
+    let (classifier, mut ds) = replay_setup(model);
+    let mut stats = CollectionStats::default();
     for r in records {
-        match classifier.classify(r.signature) {
-            ServiceLabel::Head(s) => {
-                ds.add(Direction::Down, s as usize, r.commune, r.start_hour as usize, r.dl_mb);
-                ds.add(Direction::Up, s as usize, r.commune, r.start_hour as usize, r.ul_mb);
-            }
-            ServiceLabel::Tail(t) => {
-                ds.add_tail(Direction::Down, t as usize, r.dl_mb);
-                ds.add_tail(Direction::Up, t as usize, r.ul_mb);
-            }
-            ServiceLabel::Unclassified => {
-                ds.add_unclassified(Direction::Down, r.dl_mb);
-                ds.add_unclassified(Direction::Up, r.ul_mb);
-            }
-        }
+        replay_record(r, &classifier, &mut ds, &mut stats);
     }
     model.fill_tail(&mut ds);
     ds
 }
 
+/// The result of a lossy trace replay.
+pub struct LossyReplay {
+    /// The aggregated dataset built from every parseable record.
+    pub dataset: TrafficDataset,
+    /// Replay diagnostics; `skipped_lines` counts the rows dropped by the
+    /// lossy parser, and the line-numbered details are in
+    /// [`LossyReplay::skipped`].
+    pub stats: CollectionStats,
+    /// One error per skipped trace row.
+    pub skipped: Vec<TraceError>,
+}
+
+/// Parses `text` leniently ([`trace_from_csv_lossy`]) and replays every
+/// surviving record into a dataset — the graceful-degradation path for
+/// traces produced by imperfect capture or storage.
+///
+/// Only a bad header is fatal. Skipped-line counts are exported to the
+/// observability registry as `netsim.faults.skipped_lines`.
+pub fn replay_lossy(text: &str, model: &DemandModel) -> Result<LossyReplay, TraceError> {
+    let lossy = trace_from_csv_lossy(text)?;
+    let (classifier, mut ds) = replay_setup(model);
+    let mut stats = CollectionStats::default();
+    for r in &lossy.records {
+        replay_record(r, &classifier, &mut ds, &mut stats);
+    }
+    model.fill_tail(&mut ds);
+    stats.skipped_lines = lossy.skipped.len() as u64;
+    mobilenet_obs::add("netsim.faults.skipped_lines", stats.skipped_lines);
+    Ok(LossyReplay { dataset: ds, stats, skipped: lossy.skipped })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::collect;
+    use crate::pipeline::{collect, collect_with_faults};
     use mobilenet_geo::{Country, CountryConfig};
     use mobilenet_traffic::{ServiceCatalog, TrafficConfig};
     use std::sync::Arc;
@@ -231,6 +456,22 @@ mod tests {
     }
 
     #[test]
+    fn poisonous_values_are_rejected() {
+        // Non-finite volumes would sail through aggregation and blow up
+        // sorts/statistics far from the source; reject at the boundary.
+        assert!(record_from_line("gn,1,NaN,1.0,5,0xff,0").is_err());
+        assert!(record_from_line("gn,1,1.0,NaN,5,0xff,0").is_err());
+        assert!(record_from_line("gn,1,inf,1.0,5,0xff,0").is_err());
+        assert!(record_from_line("gn,1,1.0,-inf,5,0xff,0").is_err());
+        assert!(record_from_line("gn,1,-2.0,1.0,5,0xff,0").is_err());
+        // Hours beyond the measurement week would index out of range.
+        assert!(record_from_line("gn,168,1.0,1.0,5,0xff,0").is_err());
+        assert!(record_from_line("gn,999,1.0,1.0,5,0xff,0").is_err());
+        // Boundary values stay valid.
+        assert!(record_from_line("gn,167,0e0,0e0,5,0xff,0").is_ok());
+    }
+
+    #[test]
     fn captured_trace_replays_to_the_same_dataset() {
         let m = model();
         let cfg = NetsimConfig::standard();
@@ -239,7 +480,7 @@ mod tests {
 
         // Path B: capture → CSV → parse → replay.
         let mut records = Vec::new();
-        observe_sessions(&m, &cfg, 7, |r| records.push(r.clone()));
+        observe_sessions(&m, &cfg, 7, |r| records.push(r.clone())).unwrap();
         let csv = trace_to_csv(&records);
         let parsed = trace_from_csv(&csv).unwrap();
         assert_eq!(parsed.len(), records.len());
@@ -276,11 +517,100 @@ mod tests {
         let m = model();
         let cfg = NetsimConfig::standard();
         let mut a = Vec::new();
-        observe_sessions(&m, &cfg, 5, |r| a.push(r.clone()));
+        observe_sessions(&m, &cfg, 5, |r| a.push(r.clone())).unwrap();
         let mut b = Vec::new();
-        observe_sessions(&m, &cfg, 5, |r| b.push(r.clone()));
+        observe_sessions(&m, &cfg, 5, |r| b.push(r.clone())).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.first(), b.first());
         assert_eq!(a.last(), b.last());
+    }
+
+    #[test]
+    fn observe_sessions_rejects_invalid_config_without_panicking() {
+        let m = model();
+        let mut cfg = NetsimConfig::standard();
+        cfg.uli_stale_prob = 2.0;
+        let err = observe_sessions(&m, &cfg, 5, |_| {}).unwrap_err();
+        assert!(err.contains("uli_stale_prob"), "{err}");
+        let mut plan = FaultPlan::none();
+        plan.dup_prob = -0.5;
+        let err = observe_sessions_with_faults(&m, &NetsimConfig::standard(), &plan, 5, |_| {})
+            .unwrap_err();
+        assert!(err.contains("dup_prob"), "{err}");
+    }
+
+    #[test]
+    fn faulted_capture_matches_faulted_collection() {
+        // The contract the trace path promises: a faulted capture emits
+        // exactly the records a faulted collection aggregates.
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let plan = FaultPlan::degraded(21);
+        let direct = collect_with_faults(&m, &cfg, &plan, 7).unwrap();
+
+        let mut records = Vec::new();
+        let summary =
+            observe_sessions_with_faults(&m, &cfg, &plan, 7, |r| records.push(r.clone()))
+                .unwrap();
+        assert_eq!(summary.emitted as usize, records.len());
+        assert_eq!(summary.sessions, direct.stats.sessions);
+        assert_eq!(summary.faults, direct.stats.faults);
+        assert_eq!(
+            summary.emitted,
+            direct.stats.gn_records + direct.stats.s5s8_records
+        );
+
+        let replayed = replay(&records, &m);
+        for dir in Direction::BOTH {
+            for s in (0..20).step_by(7) {
+                let a = direct.dataset.national_series(dir, s);
+                let b = replayed.national_series(dir, s);
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!((x - y).abs() < 1e-9, "{} service {s}: {x} vs {y}", dir.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_trace_round_trips_through_the_lossy_path() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let mut records = Vec::new();
+        observe_sessions(&m, &cfg, 9, |r| records.push(r.clone())).unwrap();
+
+        let mut plan = FaultPlan::none();
+        plan.seed = 4;
+        plan.corrupt_prob = 0.05;
+        let csv = trace_to_csv_faulty(&records, &plan);
+
+        // The strict parser aborts...
+        assert!(trace_from_csv(&csv).is_err());
+        // ...the lossy one skips-and-counts with line numbers.
+        let lossy = trace_from_csv_lossy(&csv).unwrap();
+        assert!(!lossy.skipped.is_empty());
+        let frac = lossy.skipped.len() as f64 / records.len() as f64;
+        assert!((frac - 0.05).abs() < 0.02, "corrupted fraction {frac}");
+        assert_eq!(lossy.records.len() + lossy.skipped.len(), records.len());
+        for err in &lossy.skipped {
+            assert!(err.line >= 2, "header is line 1");
+            let line_in_file = csv.lines().nth(err.line - 1).unwrap();
+            assert!(record_from_line(line_in_file).is_err(), "line {}: {line_in_file}", err.line);
+        }
+
+        let replayed = replay_lossy(&csv, &m).unwrap();
+        assert_eq!(replayed.stats.skipped_lines, lossy.skipped.len() as u64);
+        assert_eq!(replayed.stats.sessions, lossy.records.len() as u64);
+        assert!(replayed.dataset.total(Direction::Down) > 0.0);
+
+        // A header-less file is still fatal: it is not a trace at all.
+        assert!(replay_lossy("volume data\n1,2,3\n", &m).is_err());
+        // A pristine trace replays lossily with zero skips.
+        let clean = replay_lossy(&trace_to_csv(&records), &m).unwrap();
+        assert_eq!(clean.stats.skipped_lines, 0);
+        assert_eq!(
+            clean.dataset.total(Direction::Down),
+            replay(&records, &m).total(Direction::Down)
+        );
     }
 }

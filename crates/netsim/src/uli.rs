@@ -115,7 +115,7 @@ mod tests {
         let mut cfg = NetsimConfig::standard();
         cfg.uli_stale_prob = 0.0; // isolate fresh fixes
         let mut errs = errors(&cfg, 40_000);
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(f64::total_cmp);
         let median = errs[errs.len() / 2];
         assert!(
             (median - 3.0).abs() < 0.1,

@@ -145,7 +145,9 @@ impl TrafficDataset {
     ) {
         debug_assert!(service < self.n_services);
         debug_assert!(hour < HOURS_PER_WEEK);
-        debug_assert!(mb >= 0.0);
+        // Negative volume is a caller bug; NaN is tolerated (it can reach
+        // here from degraded inputs) and handled by NaN-safe consumers.
+        debug_assert!(mb.is_nan() || mb >= 0.0, "negative volume {mb}");
         let d = dir.index();
         let c = commune.index();
         let class = self.commune_class[c] as usize;
@@ -159,7 +161,7 @@ impl TrafficDataset {
 
     /// Records `mb` of traffic the classifier could not attribute.
     pub fn add_unclassified(&mut self, dir: Direction, mb: f64) {
-        debug_assert!(mb >= 0.0);
+        debug_assert!(mb.is_nan() || mb >= 0.0, "negative volume {mb}");
         self.unclassified[dir.index()] += mb;
     }
 
@@ -227,11 +229,15 @@ impl TrafficDataset {
 
     /// The full service ranking: head weekly totals followed by tail
     /// volumes, sorted descending — the series of Figure 2.
+    ///
+    /// NaN-safe: a poisoned total cannot panic the sort
+    /// ([`f64::total_cmp`] orders NaN ahead of every finite value in the
+    /// descending ranking instead of aborting).
     pub fn full_ranking(&self, dir: Direction) -> Vec<f64> {
         let mut all: Vec<f64> =
             (0..self.n_services).map(|s| self.national_weekly(dir, s)).collect();
         all.extend_from_slice(self.tail_weekly(dir));
-        all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        all.sort_by(|a, b| b.total_cmp(a));
         all
     }
 
@@ -547,6 +553,23 @@ mod tests {
         // Other direction untouched.
         assert_eq!(ds.national_series(Direction::Up, 1)[42], 0.0);
         assert_eq!(ds.national_weekly(Direction::Down, 1), 7.5);
+    }
+
+    #[test]
+    fn full_ranking_survives_nan_volumes() {
+        // Regression: a NaN that slipped into an aggregate (corrupt trace,
+        // faulty counter) used to panic `sort_by(partial_cmp().unwrap())`.
+        let (country, mut ds) = dataset();
+        let commune = country.communes()[0].id;
+        ds.add(Direction::Down, 0, commune, 0, 5.0);
+        ds.add(Direction::Down, 1, commune, 1, f64::NAN);
+        ds.add(Direction::Down, 2, commune, 2, 1.0);
+        let ranking = ds.full_ranking(Direction::Down);
+        assert_eq!(ranking.len(), 3 + 10);
+        assert_eq!(ranking.iter().filter(|v| v.is_nan()).count(), 1);
+        // Finite entries keep their descending order.
+        let finite: Vec<f64> = ranking.iter().copied().filter(|v| !v.is_nan()).collect();
+        assert!(finite.windows(2).all(|w| w[0] >= w[1]), "{finite:?}");
     }
 
     #[test]

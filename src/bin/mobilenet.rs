@@ -16,6 +16,11 @@
 //! the output is identical at any thread count — and `--obs FILE` to
 //! collect per-stage observability (spans, counters, histograms) and
 //! write it to `FILE` as JSON (`MOBILENET_OBS` works too; see README).
+//!
+//! `--faults SPEC` injects capture-path faults (probe outages, record
+//! loss/duplication, counter truncation, clock skew). `SPEC` is either
+//! the preset `degraded` or a comma-separated key=value list, e.g.
+//! `--faults seed=7,loss=0.05,dup=0.01,outage=gn:33-37`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,7 +32,7 @@ use mobilenet::core::study::Study;
 use mobilenet::core::topical::topical_profiles;
 use mobilenet::core::{forecast, maps};
 use mobilenet::traffic::{Direction, TopicalTime};
-use mobilenet::{Error, Pipeline, Scale, DEFAULT_SEED};
+use mobilenet::{Error, FaultPlan, Pipeline, Scale, DEFAULT_SEED};
 
 struct Args {
     command: String,
@@ -39,13 +44,15 @@ struct Args {
     out: Option<PathBuf>,
     threads: Option<usize>,
     obs: Option<PathBuf>,
+    faults: Option<FaultPlan>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
          [--scale small|medium|france] [--seed N] [--uplink] \
-         [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE]"
+         [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE] \
+         [--faults SPEC]"
     );
     ExitCode::from(2)
 }
@@ -66,6 +73,7 @@ fn parse() -> Result<Args, ExitCode> {
         out: None,
         threads: None,
         obs: None,
+        faults: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -105,6 +113,13 @@ fn parse() -> Result<Args, ExitCode> {
                 args.threads = Some(n);
             }
             "--obs" => args.obs = Some(PathBuf::from(argv.next().ok_or_else(usage)?)),
+            "--faults" => {
+                let spec = argv.next().ok_or_else(usage)?;
+                args.faults = Some(FaultPlan::parse(&spec).map_err(|e| {
+                    eprintln!("--faults: {e}");
+                    ExitCode::from(2)
+                })?);
+            }
             _ => return Err(usage()),
         }
     }
@@ -146,6 +161,9 @@ fn run(args: &Args) -> Result<(), CliError> {
     let mut builder = Pipeline::builder().scale(args.scale).seed(args.seed);
     if let Some(n) = args.threads {
         builder = builder.threads(n);
+    }
+    if let Some(plan) = &args.faults {
+        builder = builder.faults(plan.clone());
     }
     // --obs enables collection; MOBILENET_OBS may also carry a path.
     let obs_path = args.obs.clone().or_else(mobilenet::obs::env_output_path);

@@ -52,4 +52,7 @@ pub use mobilenet_par as par;
 pub use mobilenet_timeseries as timeseries;
 pub use mobilenet_traffic as traffic;
 
-pub use mobilenet_core::{Error, Pipeline, PipelineBuilder, Run, Scale, DEFAULT_SEED};
+pub use mobilenet_core::{
+    Error, FaultPlan, FaultStats, OutageWindow, Pipeline, PipelineBuilder, Run, Scale,
+    DEFAULT_SEED,
+};

@@ -53,7 +53,8 @@ fn probe_trace_capture_and_replay_match_the_pipeline() {
     let direct = collect(&model, &netsim, 9);
 
     let mut records = Vec::new();
-    let n = observe_sessions(&model, &netsim, 9, |r| records.push(r.clone()));
+    let n = observe_sessions(&model, &netsim, 9, |r| records.push(r.clone()))
+        .expect("standard config is valid");
     assert_eq!(n as usize, records.len());
     assert_eq!(n, direct.stats.sessions);
 
