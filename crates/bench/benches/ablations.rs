@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mobilenet_bench::small_study;
 use mobilenet_core::peaks::{detect_peaks, PeakConfig};
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect, NetsimConfig};
+use mobilenet_netsim::{collect_with_options, CollectOptions, NetsimConfig};
 use mobilenet_timeseries::fft::{cross_correlation, cross_correlation_naive};
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog, TrafficConfig};
 
@@ -53,7 +53,7 @@ fn measured_vs_expected_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pipeline");
     g.sample_size(10);
     g.bench_function("measured_collect", |b| {
-        b.iter(|| collect(&model, &NetsimConfig::standard(), 1))
+        b.iter(|| collect_with_options(&model, &NetsimConfig::standard(), &CollectOptions::default(), 1).unwrap())
     });
     g.bench_function("expected_dataset", |b| b.iter(|| model.expected_dataset()));
     g.finish();

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect, collect_with_faults, FaultPlan, NetsimConfig};
+use mobilenet_netsim::{collect_with_options, CollectOptions, FaultPlan, NetsimConfig};
 use mobilenet_traffic::{DemandModel, ServiceCatalog, SessionGenerator, TrafficConfig};
 
 fn bench_country(c: &mut Criterion) {
@@ -45,11 +45,15 @@ fn bench_collect(c: &mut Criterion) {
     let model = DemandModel::new(country, catalog, TrafficConfig::fast(), 1);
     let netsim = NetsimConfig::standard();
     c.bench_function("collect_pipeline_1k_fast", |b| {
-        b.iter(|| collect(&model, &netsim, 1));
+        b.iter(|| collect_with_options(&model, &netsim, &CollectOptions::default(), 1).unwrap());
     });
-    let degraded = FaultPlan::degraded(1);
+    let degraded = CollectOptions::with_faults(FaultPlan::degraded(1));
     c.bench_function("collect_pipeline_1k_fast_degraded", |b| {
-        b.iter(|| collect_with_faults(&model, &netsim, &degraded, 1).unwrap());
+        b.iter(|| collect_with_options(&model, &netsim, &degraded, 1).unwrap());
+    });
+    let streaming = CollectOptions::default().chunk_size(1024);
+    c.bench_function("collect_pipeline_1k_fast_chunk_1024", |b| {
+        b.iter(|| collect_with_options(&model, &netsim, &streaming, 1).unwrap());
     });
     c.bench_function("expected_dataset_1k", |b| {
         b.iter(|| model.expected_dataset());

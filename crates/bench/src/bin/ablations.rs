@@ -34,7 +34,7 @@ use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
 use mobilenet_core::Pipeline;
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect, collect_with_faults, FaultPlan, NetsimConfig};
+use mobilenet_netsim::{collect_with_options, CollectOptions, FaultPlan, NetsimConfig};
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog, TopicalTime, TrafficConfig};
 
 fn main() {
@@ -75,7 +75,8 @@ fn localization_sweep(seed: u64) {
         if err_km == 0.0 {
             cfg.uli_stale_prob = 0.0;
         }
-        let out = collect(&model, &cfg, seed);
+        let out = collect_with_options(&model, &cfg, &CollectOptions::default(), seed)
+            .expect("ablation config is valid");
         let study = Study::from_parts(model.clone(), out);
         let corr = spatial_correlation(&study, Direction::Down);
         let twitter = study
@@ -115,7 +116,8 @@ fn classification_sweep(seed: u64) {
         let mut tc = TrafficConfig::fast();
         tc.classified_fraction = rate;
         let model = DemandModel::new(country.clone(), catalog.clone(), tc, seed);
-        let out = collect(&model, &NetsimConfig::standard(), seed);
+        let out = collect_with_options(&model, &NetsimConfig::standard(), &CollectOptions::default(), seed)
+            .expect("standard config is valid");
         let study = Study::from_parts(model.clone(), out);
         let ranking = service_ranking(&study, Direction::Down);
         let video = ranking
@@ -197,7 +199,8 @@ fn mobility_sweep(seed: u64) {
         let mut tc = TrafficConfig::fast();
         tc.commuter_share = share;
         let model = DemandModel::new(country.clone(), catalog.clone(), tc, seed);
-        let out = collect(&model, &NetsimConfig::standard(), seed);
+        let out = collect_with_options(&model, &NetsimConfig::standard(), &CollectOptions::default(), seed)
+            .expect("standard config is valid");
         let study = Study::from_parts(model.clone(), out);
         let twitter = study
             .catalog()
@@ -260,7 +263,7 @@ fn fault_sweep(seed: u64) {
     let model = DemandModel::new(country, catalog, TrafficConfig::fast(), seed);
     let netsim = NetsimConfig::standard();
 
-    let clean = collect_with_faults(&model, &netsim, &FaultPlan::none(), seed)
+    let clean = collect_with_options(&model, &netsim, &CollectOptions::default(), seed)
         .expect("identity plan is valid");
     let baseline = Study::from_parts(model.clone(), clean);
     let base_profiles = topical_profiles(&baseline, Direction::Down, &PeakConfig::paper());
@@ -275,7 +278,8 @@ fn fault_sweep(seed: u64) {
         (0.25, 0.10),
     ] {
         let plan = FaultPlan { seed, loss_prob: loss, dup_prob: dup, ..FaultPlan::none() };
-        let out = collect_with_faults(&model, &netsim, &plan, seed).expect("plan is valid");
+        let out = collect_with_options(&model, &netsim, &CollectOptions::with_faults(plan.clone()), seed)
+            .expect("plan is valid");
         let lost_frac = out.stats.faults.lost_total() as f64 / out.stats.sessions as f64;
         let study = Study::from_parts(model.clone(), out);
         let corr = spatial_correlation(&study, Direction::Down);

@@ -24,7 +24,7 @@ use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
 use mobilenet_core::Scale;
 use mobilenet_geo::Country;
-use mobilenet_netsim::collect;
+use mobilenet_netsim::{collect_with_options, CollectOptions};
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog};
 use std::sync::Arc;
 
@@ -133,7 +133,8 @@ fn main() {
         // aggregation, parallel over per-service shards).
         let output = {
             let _s = mobilenet_obs::span("aggregation");
-            collect(&model, &config.netsim, args.seed)
+            collect_with_options(&model, &config.netsim, &CollectOptions::default(), args.seed)
+                .expect("scale configs are valid")
         };
         let study = Study::from_parts(model.clone(), output);
 
@@ -184,6 +185,44 @@ fn main() {
         );
         digests.push(digest);
     }
+    // Streaming-vs-materialized comparison: the same collection once with
+    // an effectively unbounded chunk (each shard materialized whole) and
+    // once with the default bounded chunk, at the parallel thread count.
+    // Throughput must be comparable and the outputs bit-identical; peak
+    // resident records shows the memory bound doing its job.
+    mobilenet_par::set_thread_override(Some(args.threads));
+    println!("-- streaming ingestion ({} threads)", args.threads);
+    let mut ingest_json = String::new();
+    let mut ingest_csvs: Vec<usize> = Vec::new();
+    for (mode, chunk) in [("materialized", usize::MAX), ("streaming", CollectOptions::default().chunk_size)]
+    {
+        let options = CollectOptions::default().chunk_size(chunk);
+        let t0 = std::time::Instant::now();
+        let out = collect_with_options(&model, &config.netsim, &options, args.seed)
+            .expect("scale configs are valid");
+        let secs = t0.elapsed().as_secs_f64();
+        let records = out.ingest.records;
+        let throughput = if secs > 0.0 { records as f64 / secs } else { 0.0 };
+        println!(
+            "   {mode:<12} {secs:>8.2}s  {throughput:>12.0} rec/s  peak resident {:>10}",
+            out.ingest.peak_resident_records
+        );
+        ingest_json.push_str(&format!(
+            "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
+             \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }}{}\n",
+            secs,
+            records,
+            throughput,
+            out.ingest.peak_resident_records,
+            out.ingest.workers,
+            if mode == "materialized" { "," } else { "" }
+        ));
+        ingest_csvs.push(out.dataset.to_csv().len());
+    }
+    assert_eq!(
+        ingest_csvs[0], ingest_csvs[1],
+        "streaming collection diverged from the materialized path"
+    );
     mobilenet_par::set_thread_override(None);
     mobilenet_obs::set_enabled(None);
     assert_eq!(
@@ -214,12 +253,13 @@ fn main() {
     // as a nested object.
     let obs_nested = parallel_obs_json.trim_end().replace('\n', "\n  ");
     let json = format!(
-        "{{\n  \"schema\": \"mobilenet-bench-baseline/v1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"machine_parallelism\": {},\n  \"stages\": [\n{}  ],\n  \"total_serial_s\": {:.4},\n  \"total_parallel_s\": {:.4},\n  \"total_speedup\": {:.2},\n  \"obs\": {}\n}}\n",
+        "{{\n  \"schema\": \"mobilenet-bench-baseline/v1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"threads_serial\": 1,\n  \"threads_parallel\": {},\n  \"machine_parallelism\": {},\n  \"stages\": [\n{}  ],\n  \"ingest\": [\n{}  ],\n  \"total_serial_s\": {:.4},\n  \"total_parallel_s\": {:.4},\n  \"total_speedup\": {:.2},\n  \"obs\": {}\n}}\n",
         args.scale,
         args.seed,
         args.threads,
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         stages_json,
+        ingest_json,
         total_serial,
         total_parallel,
         if total_parallel > 0.0 { total_serial / total_parallel } else { 0.0 },

@@ -5,7 +5,7 @@
 //! configuration, resolving user-facing names — funnels into one
 //! [`Error`], so binaries report failures instead of unwinding.
 
-use mobilenet_netsim::TraceError;
+use mobilenet_netsim::{IngestError, TraceError};
 use mobilenet_traffic::DatasetError;
 
 /// Everything that can go wrong assembling or loading a study.
@@ -69,6 +69,17 @@ impl From<TraceError> for Error {
     }
 }
 
+impl From<IngestError> for Error {
+    fn from(e: IngestError) -> Self {
+        match e {
+            IngestError::Io(e) => Error::Io(e),
+            IngestError::Trace(e) => Error::Trace(e),
+            IngestError::Config(msg) => Error::Config(msg),
+            IngestError::Shape(e) => Error::Dataset(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +92,18 @@ mod tests {
         assert!(e.to_string().contains("trace line 2"));
         assert!(Error::UnknownScale("big".into()).to_string().contains("small|medium|france"));
         assert!(Error::Config("negative radius".into()).to_string().contains("negative radius"));
+    }
+
+    #[test]
+    fn ingest_errors_map_onto_existing_variants() {
+        let e = Error::from(IngestError::Trace(TraceError { line: 4, message: "x".into() }));
+        assert!(matches!(e, Error::Trace(_)));
+        let e = Error::from(IngestError::Config("chunk_size must be at least 1 record".into()));
+        assert!(matches!(e, Error::Config(_)));
+        let e = Error::from(IngestError::Shape(DatasetError { line: 0, message: "y".into() }));
+        assert!(matches!(e, Error::Dataset(_)));
+        let e = Error::from(IngestError::Io(std::io::Error::other("z")));
+        assert!(matches!(e, Error::Io(_)));
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub mod urbanization;
 pub mod verdict;
 
 pub use error::Error;
-pub use mobilenet_netsim::{FaultPlan, FaultStats, OutageWindow};
+pub use mobilenet_netsim::{
+    CollectOptions, FaultPlan, FaultStats, IngestStats, OutageWindow, DEFAULT_CHUNK_SIZE,
+};
 pub use pipeline::{Pipeline, PipelineBuilder, Run, Scale, DEFAULT_SEED};
 pub use study::{Study, StudyConfig};

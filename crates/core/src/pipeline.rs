@@ -26,7 +26,7 @@ use std::path::Path;
 use std::str::FromStr;
 
 use mobilenet_geo::Country;
-use mobilenet_netsim::{CollectionStats, FaultPlan, SessionRecord};
+use mobilenet_netsim::{CollectionStats, FaultPlan, IngestStats, SessionRecord};
 use mobilenet_traffic::{ServiceCatalog, TrafficDataset};
 
 use crate::error::Error;
@@ -158,6 +158,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Bounds the streaming ingestion chunk size, in records (default:
+    /// [`mobilenet_netsim::DEFAULT_CHUNK_SIZE`]). Peak resident records
+    /// during collection stay at or below `chunk_size × workers`; the
+    /// aggregated output is bit-identical at every chunk size.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.config.chunk_size = chunk_size;
+        self
+    }
+
     /// Sets the master seed (default: [`DEFAULT_SEED`]).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -187,7 +196,7 @@ impl PipelineBuilder {
     /// any thread count, with or without observability.
     pub fn run(self) -> Result<Run, Error> {
         self.config.netsim.validate().map_err(Error::Config)?;
-        self.config.faults.validate().map_err(Error::Config)?;
+        self.config.collect_options().validate().map_err(Error::Config)?;
         if let Some(enabled) = self.obs {
             mobilenet_obs::set_enabled(Some(enabled));
         }
@@ -235,6 +244,12 @@ impl Run {
         self.study.collection_stats()
     }
 
+    /// Streaming-ingestion diagnostics — chunk count, record count and
+    /// peak resident records (absent on the expected-value path).
+    pub fn ingest_stats(&self) -> Option<&IngestStats> {
+        self.study.ingest_stats()
+    }
+
     /// A snapshot of everything the observability layer recorded so far
     /// in this process (empty when collection is disabled).
     pub fn obs_snapshot(&self) -> mobilenet_obs::Snapshot {
@@ -248,17 +263,19 @@ impl Run {
 }
 
 /// Reads and parses a dataset CSV previously written by
-/// [`TrafficDataset::to_csv`].
+/// [`TrafficDataset::to_csv`], streaming line by line instead of
+/// materializing the file as one string.
 pub fn load_dataset_csv(path: &Path) -> Result<TrafficDataset, Error> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(TrafficDataset::from_csv(&text)?)
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(TrafficDataset::read_from(reader)?)
 }
 
 /// Reads and parses a probe trace previously written by
-/// [`mobilenet_netsim::trace_to_csv`].
+/// [`mobilenet_netsim::trace_to_csv`], streaming line by line instead
+/// of materializing the file as one string.
 pub fn load_trace_csv(path: &Path) -> Result<Vec<SessionRecord>, Error> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(mobilenet_netsim::trace_from_csv(&text)?)
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(mobilenet_netsim::read_trace_from(reader)?)
 }
 
 #[cfg(test)]
@@ -303,6 +320,26 @@ mod tests {
         let result = Pipeline::builder()
             .configure(|c| c.netsim.stations_per_10k_pop = -1.0)
             .run();
+        assert!(matches!(result, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_and_reports_ingest_stats() {
+        let whole = Pipeline::builder().seed(9).run().unwrap();
+        let chunked = Pipeline::builder().seed(9).chunk_size(17).run().unwrap();
+        assert_eq!(whole.dataset().to_csv(), chunked.dataset().to_csv());
+        let ingest = chunked.ingest_stats().expect("measured run has ingest stats");
+        assert_eq!(ingest.chunk_size, 17);
+        assert!(ingest.chunks >= 1);
+        assert!(ingest.peak_resident_records <= ingest.resident_budget());
+        assert!(whole.ingest_stats().is_some());
+        let expected = Pipeline::builder().seed(9).expected().run().unwrap();
+        assert!(expected.ingest_stats().is_none());
+    }
+
+    #[test]
+    fn zero_chunk_size_is_rejected_not_panicked() {
+        let result = Pipeline::builder().chunk_size(0).run();
         assert!(matches!(result, Err(Error::Config(_))));
     }
 

@@ -9,7 +9,10 @@
 use std::sync::Arc;
 
 use mobilenet_geo::{Country, CountryConfig};
-use mobilenet_netsim::{collect_with_faults, CollectionStats, FaultPlan, NetsimConfig};
+use mobilenet_netsim::{
+    collect_with_options, CollectOptions, CollectionStats, FaultPlan, IngestStats, NetsimConfig,
+    DEFAULT_CHUNK_SIZE,
+};
 use mobilenet_traffic::{DemandModel, ServiceCatalog, TrafficConfig, TrafficDataset};
 
 /// Complete configuration of a study.
@@ -24,6 +27,9 @@ pub struct StudyConfig {
     /// Capture-path fault plan (default: [`FaultPlan::none`], the benign
     /// apparatus every scale historically assumed).
     pub faults: FaultPlan,
+    /// Records-per-chunk budget of the streaming ingestion engine; peak
+    /// resident records are bounded by `chunk_size × workers`.
+    pub chunk_size: usize,
     /// Use the full session-level measurement pipeline (`true`) or the
     /// noise-free expected-value path (`false`).
     pub measured: bool,
@@ -37,6 +43,7 @@ impl StudyConfig {
             traffic: TrafficConfig::fast(),
             netsim: NetsimConfig::standard(),
             faults: FaultPlan::none(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
             measured: true,
         }
     }
@@ -48,6 +55,7 @@ impl StudyConfig {
             traffic: TrafficConfig::standard(),
             netsim: NetsimConfig::standard(),
             faults: FaultPlan::none(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
             measured: true,
         }
     }
@@ -59,6 +67,7 @@ impl StudyConfig {
             traffic: TrafficConfig::standard(),
             netsim: NetsimConfig::standard(),
             faults: FaultPlan::none(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
             measured: true,
         }
     }
@@ -74,6 +83,18 @@ impl StudyConfig {
         self.faults = faults;
         self
     }
+
+    /// The same scale with a records-per-chunk budget for the streaming
+    /// ingestion engine.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The collection options this configuration describes.
+    pub fn collect_options(&self) -> CollectOptions {
+        CollectOptions::with_faults(self.faults.clone()).chunk_size(self.chunk_size)
+    }
 }
 
 /// An assembled study: geography + catalog + one week of aggregated
@@ -84,6 +105,7 @@ pub struct Study {
     model: DemandModel,
     dataset: TrafficDataset,
     collection_stats: Option<CollectionStats>,
+    ingest: Option<IngestStats>,
 }
 
 impl Study {
@@ -111,15 +133,15 @@ impl Study {
         let model =
             DemandModel::new(country.clone(), catalog.clone(), config.traffic.clone(), seed);
         drop(model_span);
-        let (dataset, collection_stats) = if config.measured {
-            let out = collect_with_faults(&model, &config.netsim, &config.faults, seed)
+        let (dataset, collection_stats, ingest) = if config.measured {
+            let out = collect_with_options(&model, &config.netsim, &config.collect_options(), seed)
                 .expect("configuration validated by the pipeline builder");
-            (out.dataset, Some(out.stats))
+            (out.dataset, Some(out.stats), Some(out.ingest))
         } else {
             let _expected_span = mobilenet_obs::span("expected_dataset");
-            (model.expected_dataset(), None)
+            (model.expected_dataset(), None, None)
         };
-        Study { country, catalog, model, dataset, collection_stats }
+        Study { country, catalog, model, dataset, collection_stats, ingest }
     }
 
     /// Assembles a study from an existing demand model and a collection
@@ -131,6 +153,7 @@ impl Study {
             catalog: model.catalog_arc(),
             dataset: output.dataset,
             collection_stats: Some(output.stats),
+            ingest: Some(output.ingest),
             model,
         }
     }
@@ -160,6 +183,12 @@ impl Study {
         self.collection_stats.as_ref()
     }
 
+    /// Streaming-engine accounting of the collection (absent on the
+    /// expected-value path).
+    pub fn ingest_stats(&self) -> Option<&IngestStats> {
+        self.ingest.as_ref()
+    }
+
     /// Names of the head services, in catalog order.
     pub fn service_names(&self) -> Vec<&'static str> {
         self.catalog.head().iter().map(|s| s.name).collect()
@@ -175,6 +204,10 @@ mod tests {
     fn measured_study_reports_collection_stats() {
         let study = Study::generate_inner(&StudyConfig::small(), 1);
         let stats = study.collection_stats().expect("measured study has stats");
+        let ingest = study.ingest_stats().expect("measured study has ingest stats");
+        assert_eq!(ingest.chunk_size, DEFAULT_CHUNK_SIZE);
+        assert!(ingest.records > 0);
+        assert!(ingest.peak_resident_records <= ingest.resident_budget());
         assert!(stats.sessions > 1_000);
         assert!((stats.classification_rate() - 0.88).abs() < 0.03);
         assert!(study.dataset().total(Direction::Down) > 0.0);
@@ -184,6 +217,7 @@ mod tests {
     fn expected_study_has_no_stats() {
         let study = Study::generate_inner(&StudyConfig::small().expected(), 1);
         assert!(study.collection_stats().is_none());
+        assert!(study.ingest_stats().is_none());
         assert!(study.dataset().total(Direction::Down) > 0.0);
         assert_eq!(study.dataset().unclassified(Direction::Down), 0.0);
     }

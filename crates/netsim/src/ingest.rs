@@ -1,0 +1,619 @@
+//! Streaming bounded-memory ingestion: the [`RecordSource`] abstraction
+//! and the chunked sharded aggregation engine.
+//!
+//! The paper's substrate is a week of nationwide packet-core capture;
+//! follow-up datasets (NetMob23, multi-week national studies) are an
+//! order of magnitude larger than anything a materialize-then-aggregate
+//! path can hold. This module makes ingestion memory-bounded by a *chunk
+//! budget* instead of the input size:
+//!
+//! * a [`RecordSource`] yields each shard's [`SessionRecord`]s **in
+//!   order** through a bounded [`ChunkSink`] — synthetic demand shards
+//!   ([`collect_with_options`](crate::pipeline::collect_with_options)),
+//!   trace files via any [`BufRead`] ([`TraceSource`]), or in-memory
+//!   slices ([`SliceSource`]);
+//! * the engine drives `mobilenet-par` workers over the shards, folds
+//!   each chunk into that shard's partial
+//!   [`TrafficDataset`] + [`CollectionStats`], and merges partials in
+//!   deterministic shard order.
+//!
+//! # Determinism contract
+//!
+//! Chunking only bounds *how many records are resident*, never the order
+//! they are folded: within a shard, records are aggregated in exactly the
+//! generation (or file) order, and shard partials merge in shard order.
+//! The streamed result is therefore **bit-identical** to the historical
+//! materialized path at any thread count and any chunk size — including
+//! `chunk_size = 1` and `chunk_size ≥ input`.
+//!
+//! # Memory bound
+//!
+//! Each worker owns at most one chunk buffer of `chunk_size` records at a
+//! time, so peak resident records never exceed `chunk_size × workers`.
+//! The engine accounts for residency at chunk granularity (the
+//! `netsim.ingest.peak_resident_records` gauge samples the high-water
+//! mark at flush points); the bound itself holds by construction.
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mobilenet_traffic::{DatasetError, DemandModel, TrafficDataset};
+
+use crate::faults::FaultPlan;
+use crate::pipeline::CollectionStats;
+use crate::records::SessionRecord;
+use crate::trace::{record_from_line, TraceError, TRACE_HEADER};
+
+/// Default records-per-chunk budget of the streaming engine: small enough
+/// that dozens of workers stay in cache-friendly territory, large enough
+/// to amortize per-chunk accounting to noise.
+pub const DEFAULT_CHUNK_SIZE: usize = 8192;
+
+/// Options of one collection/ingestion run — the single knob set behind
+/// [`collect_with_options`](crate::pipeline::collect_with_options),
+/// [`observe_with_options`](crate::trace::observe_with_options) and
+/// [`ingest`].
+#[derive(Debug, Clone)]
+pub struct CollectOptions {
+    /// Capture-path fault plan ([`FaultPlan::none`] reproduces the
+    /// historical benign apparatus bit for bit).
+    pub faults: FaultPlan,
+    /// Records-per-chunk budget of the streaming engine; peak resident
+    /// records are bounded by `chunk_size × workers`.
+    pub chunk_size: usize,
+}
+
+impl Default for CollectOptions {
+    fn default() -> Self {
+        CollectOptions { faults: FaultPlan::none(), chunk_size: DEFAULT_CHUNK_SIZE }
+    }
+}
+
+impl CollectOptions {
+    /// Default options with the given fault plan.
+    pub fn with_faults(faults: FaultPlan) -> Self {
+        CollectOptions { faults, ..CollectOptions::default() }
+    }
+
+    /// Sets the records-per-chunk budget.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Checks the options for internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be at least 1 record".into());
+        }
+        self.faults.validate()
+    }
+}
+
+/// Why a streaming ingestion run failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Reading the underlying byte stream failed.
+    Io(std::io::Error),
+    /// A trace row failed to parse (strict sources only).
+    Trace(TraceError),
+    /// The source or options configuration is invalid.
+    Config(String),
+    /// Shard partials (or merge inputs) disagreed on dataset shape.
+    Shape(DatasetError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::Trace(e) => write!(f, "{e}"),
+            IngestError::Config(msg) => write!(f, "invalid ingest configuration: {msg}"),
+            IngestError::Shape(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Trace(e) => Some(e),
+            IngestError::Shape(e) => Some(e),
+            IngestError::Config(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<TraceError> for IngestError {
+    fn from(e: TraceError) -> Self {
+        IngestError::Trace(e)
+    }
+}
+
+impl From<DatasetError> for IngestError {
+    fn from(e: DatasetError) -> Self {
+        IngestError::Shape(e)
+    }
+}
+
+/// What the streaming engine did: chunk, record and byte accounting of
+/// one ingestion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Chunks flushed through the engine (deterministic: per-shard chunk
+    /// boundaries depend only on the record stream and `chunk_size`).
+    pub chunks: u64,
+    /// Records aggregated (post-fault, i.e. what the folds saw).
+    pub records: u64,
+    /// High-water mark of records resident in chunk buffers, sampled at
+    /// flush points. Always ≤ `chunk_size × workers`, by construction;
+    /// scheduling-dependent (more workers → more concurrent residency).
+    pub peak_resident_records: u64,
+    /// Bytes read from external storage (0 for synthetic and in-memory
+    /// sources).
+    pub bytes_read: u64,
+    /// The records-per-chunk budget the run used.
+    pub chunk_size: usize,
+    /// Workers the engine drove (`min(threads, shards)`).
+    pub workers: usize,
+}
+
+impl IngestStats {
+    /// The resident-record bound of this run: `chunk_size × workers`.
+    pub fn resident_budget(&self) -> u64 {
+        (self.chunk_size as u64).saturating_mul(self.workers as u64)
+    }
+}
+
+/// Shared chunk/record/residency accounting of one engine run.
+#[derive(Debug, Default)]
+struct IngestLedger {
+    chunks: AtomicU64,
+    records: AtomicU64,
+    resident: AtomicU64,
+    peak_resident: AtomicU64,
+}
+
+/// The bounded buffer a [`RecordSource`] pushes one shard's records into.
+///
+/// Holds at most `chunk_size` records; a full buffer is flushed to the
+/// engine's fold before the next push, so a source never materializes
+/// more than one chunk per worker no matter how large the shard is.
+pub struct ChunkSink<'a> {
+    buf: Vec<SessionRecord>,
+    chunk_size: usize,
+    ledger: &'a IngestLedger,
+    consume: &'a mut dyn FnMut(&[SessionRecord]),
+}
+
+impl<'a> ChunkSink<'a> {
+    fn new(
+        chunk_size: usize,
+        ledger: &'a IngestLedger,
+        consume: &'a mut dyn FnMut(&[SessionRecord]),
+    ) -> Self {
+        // Cap the pre-allocation: `chunk_size ≥ input` is a legitimate
+        // way to ask for one chunk per shard without reserving the moon.
+        let cap = chunk_size.min(DEFAULT_CHUNK_SIZE);
+        ChunkSink { buf: Vec::with_capacity(cap), chunk_size, ledger, consume }
+    }
+
+    /// Appends one record; flushes the chunk to the aggregation fold when
+    /// the budget is reached.
+    pub fn push(&mut self, record: SessionRecord) {
+        self.buf.push(record);
+        if self.buf.len() >= self.chunk_size {
+            self.flush();
+        }
+    }
+
+    /// Flushes the partial chunk (no-op when empty). Called by the engine
+    /// after the source finishes a shard.
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let n = self.buf.len() as u64;
+        // Residency is accounted at flush granularity: the chunk is
+        // counted resident while the fold walks it. The true peak
+        // (including buffers still filling) is bounded by
+        // `chunk_size × workers` by construction.
+        let now = self.ledger.resident.fetch_add(n, Ordering::SeqCst) + n;
+        self.ledger.peak_resident.fetch_max(now, Ordering::SeqCst);
+        self.ledger.chunks.fetch_add(1, Ordering::Relaxed);
+        self.ledger.records.fetch_add(n, Ordering::Relaxed);
+        (self.consume)(&self.buf);
+        self.buf.clear();
+        self.ledger.resident.fetch_sub(n, Ordering::SeqCst);
+    }
+}
+
+/// A source of session records, split into independently streamable
+/// shards whose partial aggregates merge in shard order.
+///
+/// Implementations must satisfy the determinism contract: shard `s`'s
+/// record stream depends only on the source's own state — never on which
+/// worker runs it, in what order, or how the stream is chunked.
+pub trait RecordSource: Sync {
+    /// Number of shards. Shard indices `0..shards()` are streamed
+    /// (possibly concurrently, at most once each) and merged in index
+    /// order.
+    fn shards(&self) -> usize;
+
+    /// Streams shard `shard`'s records, in order, into `sink`, folding
+    /// source-side diagnostics (sessions observed, fault accounting,
+    /// skipped lines, …) into `stats`.
+    fn stream_shard(
+        &self,
+        shard: usize,
+        stats: &mut CollectionStats,
+        sink: &mut ChunkSink<'_>,
+    ) -> Result<(), IngestError>;
+
+    /// Bytes this source has read from external storage so far (for
+    /// `netsim.ingest.bytes_read`); 0 for in-memory/synthetic sources.
+    fn bytes_read(&self) -> u64 {
+        0
+    }
+}
+
+/// Runs the chunked sharded aggregation: streams every shard of `source`
+/// through bounded [`ChunkSink`]s on the ambient `mobilenet-par` pool,
+/// folds each chunk into the shard's partial via `fold`, and merges
+/// partials in shard order.
+///
+/// Records the `shards` / `merge` obs spans (nesting under the caller's
+/// active span) and the `netsim.ingest.*` counters.
+pub(crate) fn aggregate_source<S, N, F>(
+    source: &S,
+    chunk_size: usize,
+    new_dataset: N,
+    fold: F,
+) -> Result<(TrafficDataset, CollectionStats, IngestStats), IngestError>
+where
+    S: RecordSource,
+    N: Fn() -> TrafficDataset + Sync,
+    F: Fn(&SessionRecord, &mut TrafficDataset, &mut CollectionStats) + Sync,
+{
+    if chunk_size == 0 {
+        return Err(IngestError::Config("chunk_size must be at least 1 record".into()));
+    }
+    let ledger = IngestLedger::default();
+    let shards = source.shards();
+    let workers = mobilenet_par::current_threads().min(shards.max(1)).max(1);
+
+    let shards_span = mobilenet_obs::span("shards");
+    let partials = mobilenet_par::par_map_collect(shards, |shard| {
+        let mut dataset = new_dataset();
+        let mut agg = CollectionStats::default();
+        let mut source_stats = CollectionStats::default();
+        let streamed = {
+            let mut consume = |chunk: &[SessionRecord]| {
+                for record in chunk {
+                    fold(record, &mut dataset, &mut agg);
+                }
+            };
+            let mut sink = ChunkSink::new(chunk_size, &ledger, &mut consume);
+            let streamed = source.stream_shard(shard, &mut source_stats, &mut sink);
+            sink.flush();
+            streamed
+        };
+        // Source-side (session-level) and fold-side (record-level)
+        // diagnostics accumulate in disjoint fields, so merging the two
+        // partial structs reproduces the historical single-struct values
+        // exactly.
+        agg.merge(&source_stats);
+        streamed.map(|()| (dataset, agg))
+    });
+    drop(shards_span);
+
+    // Deterministic reduction: always in shard order, regardless of which
+    // worker finished first. The first failing shard (in shard order)
+    // decides the error.
+    let merge_span = mobilenet_obs::span("merge");
+    let mut dataset = new_dataset();
+    let mut stats = CollectionStats::default();
+    for partial in partials {
+        let (partial_dataset, partial_stats) = partial?;
+        dataset.merge(&partial_dataset)?;
+        stats.merge(&partial_stats);
+    }
+    drop(merge_span);
+
+    let ingest = IngestStats {
+        chunks: ledger.chunks.load(Ordering::Relaxed),
+        records: ledger.records.load(Ordering::Relaxed),
+        peak_resident_records: ledger.peak_resident.load(Ordering::SeqCst),
+        bytes_read: source.bytes_read(),
+        chunk_size,
+        workers,
+    };
+    record_ingest_metrics(&ingest);
+    Ok((dataset, stats, ingest))
+}
+
+/// Publishes one run's [`IngestStats`] to the observability registry.
+///
+/// `chunks`, `records` and `bytes_read` are deterministic (identical at
+/// any thread count) and land on counters; `peak_resident_records` and
+/// `workers` describe scheduling and land on gauges, which the
+/// determinism fingerprint excludes.
+fn record_ingest_metrics(ingest: &IngestStats) {
+    if !mobilenet_obs::enabled() {
+        return;
+    }
+    mobilenet_obs::add("netsim.ingest.chunks", ingest.chunks);
+    mobilenet_obs::add("netsim.ingest.records", ingest.records);
+    mobilenet_obs::add("netsim.ingest.bytes_read", ingest.bytes_read);
+    mobilenet_obs::gauge(
+        "netsim.ingest.peak_resident_records",
+        ingest.peak_resident_records as f64,
+    );
+    mobilenet_obs::gauge("netsim.ingest.chunk_size", ingest.chunk_size as f64);
+    mobilenet_obs::gauge("netsim.ingest.workers", ingest.workers as f64);
+}
+
+/// Replays any [`RecordSource`] through the DPI stage into a dataset
+/// shaped like `model`'s country — the generic streaming counterpart of
+/// [`replay`](crate::trace::replay), with the tail table filled from the
+/// demand model exactly as collection does.
+pub fn ingest<S: RecordSource>(
+    source: &S,
+    model: &DemandModel,
+    options: &CollectOptions,
+) -> Result<crate::pipeline::CollectionOutput, IngestError> {
+    options.validate().map_err(IngestError::Config)?;
+    let catalog = model.catalog();
+    let classifier = crate::classifier::DpiClassifier::new(
+        catalog.head().len(),
+        catalog.tail_len(),
+        model.config().classified_fraction,
+    );
+    let new_dataset = || {
+        TrafficDataset::new(
+            model.country(),
+            catalog.head().len(),
+            catalog.tail_len(),
+            model.config().subscriber_share,
+        )
+    };
+    let (mut dataset, stats, ingest) =
+        aggregate_source(source, options.chunk_size, new_dataset, |r, ds, st| {
+            crate::trace::replay_record(r, &classifier, ds, st)
+        })?;
+    model.fill_tail(&mut dataset);
+    mobilenet_obs::add("netsim.faults.skipped_lines", stats.skipped_lines);
+    Ok(crate::pipeline::CollectionOutput { dataset, stats, ingest })
+}
+
+/// An in-memory slice of records as a single-shard [`RecordSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a> {
+    records: &'a [SessionRecord],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of already-materialized records.
+    pub fn new(records: &'a [SessionRecord]) -> Self {
+        SliceSource { records }
+    }
+}
+
+impl RecordSource for SliceSource<'_> {
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn stream_shard(
+        &self,
+        _shard: usize,
+        _stats: &mut CollectionStats,
+        sink: &mut ChunkSink<'_>,
+    ) -> Result<(), IngestError> {
+        for record in self.records {
+            sink.push(record.clone());
+        }
+        Ok(())
+    }
+}
+
+/// A probe trace read incrementally from any [`BufRead`] — the streaming
+/// replacement for materializing a whole trace file as a `String` plus a
+/// `Vec<SessionRecord>`.
+///
+/// Single-shard (a trace is an ordered artefact). In strict mode the
+/// first malformed row aborts the stream with its 1-based line number; in
+/// lossy mode malformed rows are skipped and counted
+/// (`CollectionStats::skipped_lines`), with the line-numbered details
+/// retrievable via [`TraceSource::take_skipped`] afterwards.
+pub struct TraceSource<R> {
+    reader: Mutex<Option<R>>,
+    lossy: bool,
+    bytes: AtomicU64,
+    skipped: Mutex<Vec<TraceError>>,
+}
+
+impl<R: BufRead> TraceSource<R> {
+    /// A strict trace source: the first bad row fails the ingestion.
+    pub fn strict(reader: R) -> Self {
+        TraceSource {
+            reader: Mutex::new(Some(reader)),
+            lossy: false,
+            bytes: AtomicU64::new(0),
+            skipped: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A lossy trace source: malformed rows are skipped and counted
+    /// instead of aborting (only a missing header is fatal).
+    pub fn lossy(reader: R) -> Self {
+        TraceSource { lossy: true, ..TraceSource::strict(reader) }
+    }
+
+    /// The line-numbered errors of every row skipped so far (lossy mode),
+    /// leaving the source's list empty.
+    pub fn take_skipped(&self) -> Vec<TraceError> {
+        std::mem::take(&mut *self.skipped.lock().expect("skipped list poisoned"))
+    }
+}
+
+impl<R: BufRead + Send> RecordSource for TraceSource<R> {
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn stream_shard(
+        &self,
+        _shard: usize,
+        stats: &mut CollectionStats,
+        sink: &mut ChunkSink<'_>,
+    ) -> Result<(), IngestError> {
+        let mut reader = self
+            .reader
+            .lock()
+            .expect("trace reader poisoned")
+            .take()
+            .ok_or_else(|| IngestError::Config("trace source already consumed".into()))?;
+        let mut line = String::new();
+        let read_line = |reader: &mut R, line: &mut String| -> Result<bool, IngestError> {
+            line.clear();
+            let n = reader.read_line(line)?;
+            self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+            // Same semantics as `str::lines`: strip one `\n`, then at
+            // most one `\r` before it.
+            if line.ends_with('\n') {
+                line.pop();
+                if line.ends_with('\r') {
+                    line.pop();
+                }
+            }
+            Ok(n > 0)
+        };
+        if !read_line(&mut reader, &mut line)? || line != TRACE_HEADER {
+            return Err(IngestError::Trace(TraceError {
+                line: 1,
+                message: "missing/unsupported trace header".into(),
+            }));
+        }
+        let mut line_no = 1usize;
+        while read_line(&mut reader, &mut line)? {
+            line_no += 1;
+            match record_from_line(&line) {
+                Ok(record) => sink.push(record),
+                Err(message) => {
+                    let err = TraceError { line: line_no, message };
+                    if self.lossy {
+                        stats.skipped_lines += 1;
+                        self.skipped.lock().expect("skipped list poisoned").push(err);
+                    } else {
+                        return Err(IngestError::Trace(err));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{FlowSignature, Interface};
+    use mobilenet_geo::CommuneId;
+
+    fn record(hour: u16) -> SessionRecord {
+        SessionRecord {
+            interface: Interface::Gn,
+            start_hour: hour,
+            dl_mb: 1.5,
+            ul_mb: 0.5,
+            commune: CommuneId(0),
+            signature: FlowSignature(0),
+            stale_uli: false,
+        }
+    }
+
+    #[test]
+    fn chunk_sink_flushes_at_the_budget_and_preserves_order() {
+        let ledger = IngestLedger::default();
+        let mut seen: Vec<(usize, u16)> = Vec::new();
+        let mut chunks = 0usize;
+        {
+            let mut consume = |chunk: &[SessionRecord]| {
+                chunks += 1;
+                seen.extend(chunk.iter().map(|r| (chunks, r.start_hour)));
+            };
+            let mut sink = ChunkSink::new(3, &ledger, &mut consume);
+            for h in 0..8 {
+                sink.push(record(h));
+            }
+            sink.flush();
+            sink.flush(); // idempotent on empty
+        }
+        assert_eq!(chunks, 3, "8 records at budget 3 → chunks of 3, 3, 2");
+        let hours: Vec<u16> = seen.iter().map(|(_, h)| *h).collect();
+        assert_eq!(hours, (0..8).collect::<Vec<u16>>());
+        assert_eq!(ledger.chunks.load(Ordering::Relaxed), 3);
+        assert_eq!(ledger.records.load(Ordering::Relaxed), 8);
+        assert_eq!(ledger.peak_resident.load(Ordering::Relaxed), 3);
+        assert_eq!(ledger.resident.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn options_validate_rejects_zero_chunks_and_bad_plans() {
+        assert!(CollectOptions::default().validate().is_ok());
+        assert!(CollectOptions::default().chunk_size(0).validate().is_err());
+        let mut bad = CollectOptions::default();
+        bad.faults.loss_prob = 2.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn trace_source_counts_bytes_and_rejects_double_use() {
+        let body = format!("{TRACE_HEADER}\n{}\n", crate::trace::record_to_line(&record(5)));
+        let source = TraceSource::strict(body.as_bytes());
+        let ledger = IngestLedger::default();
+        let mut stats = CollectionStats::default();
+        let mut n = 0usize;
+        {
+            let mut consume = |chunk: &[SessionRecord]| n += chunk.len();
+            let mut sink = ChunkSink::new(4, &ledger, &mut consume);
+            source.stream_shard(0, &mut stats, &mut sink).expect("clean trace");
+            sink.flush();
+        }
+        assert_eq!(n, 1);
+        assert_eq!(source.bytes_read(), body.len() as u64);
+        // A second pass finds the reader consumed.
+        let mut consume = |_: &[SessionRecord]| {};
+        let mut sink = ChunkSink::new(4, &ledger, &mut consume);
+        assert!(matches!(
+            source.stream_shard(0, &mut stats, &mut sink),
+            Err(IngestError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn ingest_error_display_and_sources_chain() {
+        use std::error::Error as _;
+        let e = IngestError::from(TraceError { line: 3, message: "bad hour".into() });
+        assert!(e.to_string().contains("trace line 3"));
+        assert!(e.source().is_some());
+        let e = IngestError::Config("chunk_size must be at least 1 record".into());
+        assert!(e.to_string().contains("chunk_size"));
+        assert!(e.source().is_none());
+        let e = IngestError::from(std::io::Error::other("disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+    }
+}

@@ -32,6 +32,11 @@
 //!   windows, record loss/duplication, counter truncation, clock skew and
 //!   trace corruption, applied between probe and aggregation so the
 //!   pipeline degrades gracefully instead of assuming benign capture.
+//! * [`ingest`] — the streaming bounded-memory ingestion engine: the
+//!   [`RecordSource`] abstraction (synthetic shards, trace readers,
+//!   in-memory slices) and the chunked sharded aggregator whose peak
+//!   resident records never exceed `chunk_size × workers`, bit-identical
+//!   to materialized aggregation at any thread count and chunk size.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +44,7 @@
 pub mod classifier;
 pub mod config;
 pub mod faults;
+pub mod ingest;
 pub mod pipeline;
 pub mod probe;
 pub mod radio;
@@ -49,13 +55,21 @@ pub mod uli;
 pub use classifier::DpiClassifier;
 pub use config::NetsimConfig;
 pub use faults::{FaultInjector, FaultPlan, FaultStats, OutageWindow};
-pub use pipeline::{collect, collect_with_faults, CollectionOutput, CollectionStats};
+pub use ingest::{
+    ingest, ChunkSink, CollectOptions, IngestError, IngestStats, RecordSource, SliceSource,
+    TraceSource, DEFAULT_CHUNK_SIZE,
+};
+#[allow(deprecated)]
+pub use pipeline::{collect, collect_with_faults};
+pub use pipeline::{collect_with_options, CollectionOutput, CollectionStats};
 pub use probe::Probe;
 pub use radio::RadioNetwork;
+#[allow(deprecated)]
+pub use trace::{observe_sessions, observe_sessions_with_faults};
 pub use trace::{
-    observe_sessions, observe_sessions_with_faults, replay, replay_lossy, trace_from_csv,
-    trace_from_csv_lossy, trace_to_csv, trace_to_csv_faulty, CaptureSummary, LossyReplay,
-    LossyTrace, TraceError,
+    observe_with_options, read_trace_from, read_trace_from_lossy, replay, replay_from,
+    replay_lossy, trace_from_csv, trace_from_csv_lossy, trace_to_csv, trace_to_csv_faulty,
+    write_trace_to, CaptureSummary, LossyReplay, LossyTrace, TraceError,
 };
 pub use records::{Interface, SessionRecord};
 pub use uli::UliModel;

@@ -1,16 +1,18 @@
 //! End-to-end collection: demand model → sessions → probes → dataset.
 //!
-//! [`collect`] runs the full measurement chain the paper describes in §2
-//! and produces the commune-aggregated [`TrafficDataset`] every analysis
-//! consumes, together with [`CollectionStats`] quantifying the artefacts
-//! the apparatus introduces (classification loss, localization error,
-//! commune misassignment).
+//! [`collect_with_options`] runs the full measurement chain the paper
+//! describes in §2 and produces the commune-aggregated [`TrafficDataset`]
+//! every analysis consumes, together with [`CollectionStats`] quantifying
+//! the artefacts the apparatus introduces (classification loss,
+//! localization error, commune misassignment) and [`IngestStats`]
+//! describing the streaming engine's chunk/memory accounting.
 //!
 //! Collection is sharded per service: each shard samples its sessions and
 //! probe noise from seed-derived RNG streams ([`mobilenet_par::seed_for`])
-//! and aggregates into a partial dataset, and the partials are merged in
-//! shard order. Output is therefore bit-identical at any thread count,
-//! including a serial run.
+//! and streams through the bounded-memory engine of [`crate::ingest`]
+//! into a partial dataset, and the partials are merged in shard order.
+//! Output is therefore bit-identical at any thread count (including a
+//! serial run) and at any chunk size.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,6 +22,9 @@ use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset
 use crate::classifier::{DpiClassifier, ServiceLabel};
 use crate::config::NetsimConfig;
 use crate::faults::{FaultInjector, FaultPlan, FaultStats};
+use crate::ingest::{
+    aggregate_source, ChunkSink, CollectOptions, IngestError, IngestStats, RecordSource,
+};
 use crate::probe::Probe;
 use crate::radio::RadioNetwork;
 use crate::records::{Interface, SessionRecord};
@@ -108,6 +113,8 @@ pub struct CollectionOutput {
     pub dataset: TrafficDataset,
     /// Collection diagnostics.
     pub stats: CollectionStats,
+    /// Streaming-engine accounting (chunks, records, peak residency).
+    pub ingest: IngestStats,
 }
 
 /// Builds the read-only capture apparatus of a run: radio network, DPI
@@ -198,40 +205,94 @@ fn aggregate_record(
     }
 }
 
-/// Runs the full measurement pipeline over one week of synthetic demand.
-///
-/// `seed` drives session sampling, localization noise and classification
-/// loss; runs are fully deterministic in `(model, config, seed)` — and,
-/// because per-service shards draw from derived RNG streams and merge in
-/// shard order, independent of `MOBILENET_THREADS`.
-///
-/// Convenience wrapper over [`collect_with_faults`] with the identity
-/// [`FaultPlan`]; panics on an invalid `config` (the
-/// `Pipeline::builder()` entry point validates up front instead).
-pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
-    collect_with_faults(model, config, &FaultPlan::none(), seed).expect("invalid NetsimConfig")
+/// The synthetic demand model as a [`RecordSource`]: one shard per head
+/// service, each streaming `sessions → probe → (faults) → records` from
+/// seed-derived RNG streams — exactly the record stream the historical
+/// materialized `collect` aggregated, now pushed through bounded chunks.
+struct SyntheticSource<'a> {
+    generator: SessionGenerator<'a>,
+    probe: Probe<'a>,
+    injector: FaultInjector<'a>,
+    country: &'a mobilenet_geo::Country,
+    seed: u64,
+    faulted: bool,
 }
 
-/// Like [`collect`], but degrades the record stream through `faults`
-/// between probe observation and aggregation, and reports configuration
-/// problems as an `Err` instead of panicking.
+impl RecordSource for SyntheticSource<'_> {
+    fn shards(&self) -> usize {
+        self.generator.shards()
+    }
+
+    fn stream_shard(
+        &self,
+        shard: usize,
+        stats: &mut CollectionStats,
+        sink: &mut ChunkSink<'_>,
+    ) -> Result<(), IngestError> {
+        let mut probe_rng = probe_shard_rng(self.seed, shard);
+        let mut fault_rng = self.injector.shard_rng(self.seed, shard);
+        let mut fault_stats = FaultStats::default();
+        self.generator.generate_shard(shard, |session| {
+            let record = self.probe.observe(session, &mut probe_rng);
+            stats.sessions += 1;
+            if record.stale_uli {
+                stats.stale_fixes += 1;
+            }
+            if record.commune != session.commune {
+                stats.misassigned_sessions += 1;
+            }
+            if stats.sessions.is_multiple_of(16) {
+                // Localization error: distance between the true position
+                // and the centroid of the commune the record was binned
+                // into is a commune-level proxy; sample the fix-level
+                // error instead via the true/recorded commune centroids'
+                // scale. We keep the direct definition: distance from the
+                // true position to the recorded commune's centroid.
+                let recorded = self.country.commune(record.commune);
+                stats
+                    .sampled_errors_km
+                    .push(session.position.distance(&recorded.centroid));
+            }
+            if self.faulted {
+                self.injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {
+                    sink.push(degraded.clone());
+                });
+            } else {
+                sink.push(record);
+            }
+        });
+        stats.faults = fault_stats;
+        Ok(())
+    }
+}
+
+/// Runs the full measurement pipeline over one week of synthetic demand —
+/// the unified entry point behind the historical `collect` /
+/// `collect_with_faults` pair.
+///
+/// `seed` drives session sampling, localization noise and classification
+/// loss; runs are fully deterministic in `(model, config, options, seed)`
+/// — and, because per-service shards draw from derived RNG streams and
+/// merge in shard order, independent of `MOBILENET_THREADS` **and** of
+/// `options.chunk_size` (chunking bounds residency, never fold order).
 ///
 /// Fault decisions draw from their own per-shard RNG streams, so
-/// `collect_with_faults(m, c, &FaultPlan::none(), s)` is **bit-identical**
-/// to the historical fault-free `collect(m, c, s)`, and any plan is
-/// bit-identical at any thread count. Session-level diagnostics
-/// (`sessions`, `stale_fixes`, `misassigned_sessions`,
-/// `sampled_errors_km`) describe the pre-fault probe stream; the record
-/// counters (`gn_records`, `s5s8_records`, volume counters) describe what
-/// survived degradation and was aggregated.
-pub fn collect_with_faults(
+/// [`CollectOptions::default`] (no faults) is **bit-identical** to the
+/// historical fault-free path, and any plan is bit-identical at any
+/// thread count. Session-level diagnostics (`sessions`, `stale_fixes`,
+/// `misassigned_sessions`, `sampled_errors_km`) describe the pre-fault
+/// probe stream; the record counters (`gn_records`, `s5s8_records`,
+/// volume counters) describe what survived degradation and was
+/// aggregated. Peak resident records never exceed
+/// `options.chunk_size × workers` ([`IngestStats::resident_budget`]).
+pub fn collect_with_options(
     model: &DemandModel,
     config: &NetsimConfig,
-    faults: &FaultPlan,
+    options: &CollectOptions,
     seed: u64,
-) -> Result<CollectionOutput, String> {
-    config.validate()?;
-    faults.validate()?;
+) -> Result<CollectionOutput, IngestError> {
+    config.validate().map_err(IngestError::Config)?;
+    options.validate().map_err(IngestError::Config)?;
     let _collect_span = mobilenet_obs::span("collect");
     let country = model.country();
     let catalog = model.catalog();
@@ -241,6 +302,15 @@ pub fn collect_with_faults(
         .with_movement_directions(directions);
     let generator = SessionGenerator::new(model, seed);
     drop(capture_span);
+
+    let source = SyntheticSource {
+        generator,
+        probe,
+        injector: FaultInjector::new(&options.faults),
+        country,
+        seed,
+        faulted: !options.faults.is_none(),
+    };
     let new_dataset = || {
         TrafficDataset::new(
             country,
@@ -249,69 +319,40 @@ pub fn collect_with_faults(
             model.config().subscriber_share,
         )
     };
-
-    // One partial (dataset, stats) per service shard.
-    let injector = FaultInjector::new(faults);
-    let faulted = !faults.is_none();
-    let shards_span = mobilenet_obs::span("shards");
-    let partials = mobilenet_par::par_map_collect(generator.shards(), |shard| {
-        let mut dataset = new_dataset();
-        let mut stats = CollectionStats::default();
-        let mut fault_stats = FaultStats::default();
-        let mut probe_rng = probe_shard_rng(seed, shard);
-        let mut fault_rng = injector.shard_rng(seed, shard);
-        generator.generate_shard(shard, |session| {
-            let record = probe.observe(session, &mut probe_rng);
-            stats.sessions += 1;
-            if record.stale_uli {
-                stats.stale_fixes += 1;
-            }
-            if record.commune != session.commune {
-                stats.misassigned_sessions += 1;
-            }
-            if stats.sessions % 16 == 0 {
-                // Localization error: distance between the true position
-                // and the centroid of the commune the record was binned
-                // into is a commune-level proxy; sample the fix-level
-                // error instead via the true/recorded commune centroids'
-                // scale. We keep the direct definition: distance from the
-                // true position to the recorded commune's centroid.
-                let recorded = country.commune(record.commune);
-                stats
-                    .sampled_errors_km
-                    .push(session.position.distance(&recorded.centroid));
-            }
-            if faulted {
-                injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {
-                    aggregate_record(degraded, &classifier, &mut dataset, &mut stats);
-                });
-            } else {
-                aggregate_record(&record, &classifier, &mut dataset, &mut stats);
-            }
-        });
-        stats.faults = fault_stats;
-        (dataset, stats)
-    });
-    drop(shards_span);
-
-    // Deterministic reduction: always in shard order, regardless of which
-    // worker finished first.
-    let merge_span = mobilenet_obs::span("merge");
-    let mut dataset = new_dataset();
-    let mut stats = CollectionStats::default();
-    for (partial_dataset, partial_stats) in &partials {
-        dataset.merge(partial_dataset);
-        stats.merge(partial_stats);
-    }
+    let (mut dataset, stats, ingest) =
+        aggregate_source(&source, options.chunk_size, new_dataset, |record, ds, st| {
+            aggregate_record(record, &classifier, ds, st)
+        })?;
 
     // Tail services: their national weekly totals come straight from the
     // demand model (they carry no spatial structure the analyses use).
     model.fill_tail(&mut dataset);
-    drop(merge_span);
 
-    record_collection_metrics(&stats, faulted);
+    record_collection_metrics(&stats, source.faulted);
 
-    Ok(CollectionOutput { dataset, stats })
+    Ok(CollectionOutput { dataset, stats, ingest })
+}
+
+/// Runs the full measurement pipeline with default options; panics on an
+/// invalid `config` (the `Pipeline::builder()` entry point validates up
+/// front instead).
+#[deprecated(note = "use collect_with_options(model, config, &CollectOptions::default(), seed)")]
+pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
+    collect_with_options(model, config, &CollectOptions::default(), seed)
+        .expect("invalid NetsimConfig")
+}
+
+/// Like [`collect`], but degrades the record stream through `faults`
+/// between probe observation and aggregation.
+#[deprecated(note = "use collect_with_options(model, config, &CollectOptions::with_faults(plan), seed)")]
+pub fn collect_with_faults(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    faults: &FaultPlan,
+    seed: u64,
+) -> Result<CollectionOutput, String> {
+    collect_with_options(model, config, &CollectOptions::with_faults(faults.clone()), seed)
+        .map_err(|e| e.to_string())
 }
 
 /// Bucket edges (km) of the `netsim.uli_error_km` displacement histogram:
@@ -362,10 +403,15 @@ mod tests {
         DemandModel::new(country, catalog, TrafficConfig::fast(), 11)
     }
 
+    /// Fault-free collection through the unified entry point.
+    fn run(m: &DemandModel, cfg: &NetsimConfig, seed: u64) -> CollectionOutput {
+        collect_with_options(m, cfg, &CollectOptions::default(), seed).expect("valid config")
+    }
+
     #[test]
     fn classification_rate_matches_configuration() {
         let m = model();
-        let out = collect(&m, &NetsimConfig::standard(), 5);
+        let out = run(&m, &NetsimConfig::standard(), 5);
         let rate = out.stats.classification_rate();
         assert!((rate - 0.88).abs() < 0.02, "classification rate {rate}");
         assert!(out.stats.sessions > 1000);
@@ -375,7 +421,7 @@ mod tests {
     #[test]
     fn median_localization_error_is_near_target() {
         let m = model();
-        let out = collect(&m, &NetsimConfig::standard(), 5);
+        let out = run(&m, &NetsimConfig::standard(), 5);
         let median = out.stats.median_error_km();
         // Binning to communes adds the commune radius (~2.9 km for the
         // small config) on top of the 3 km ULI error.
@@ -387,7 +433,7 @@ mod tests {
         let m = model();
         let mut cfg = NetsimConfig::ideal();
         cfg.stations_per_10k_pop = 5.0;
-        let out = collect(&m, &cfg, 6);
+        let out = run(&m, &cfg, 6);
         let expected = m.expected_dataset();
         // National weekly totals converge (classification is still lossy:
         // fast config keeps 88%).
@@ -403,7 +449,7 @@ mod tests {
     #[test]
     fn both_interfaces_are_exercised() {
         let m = model();
-        let out = collect(&m, &NetsimConfig::standard(), 7);
+        let out = run(&m, &NetsimConfig::standard(), 7);
         assert!(out.stats.gn_records > 0, "no 3G records");
         assert!(out.stats.s5s8_records > 0, "no 4G records");
         assert!(out.stats.stale_fixes > 0, "no stale ULI fixes at 12% probability");
@@ -412,7 +458,7 @@ mod tests {
     #[test]
     fn localization_noise_causes_misassignment_but_ideal_does_not() {
         let m = model();
-        let noisy = collect(&m, &NetsimConfig::standard(), 8);
+        let noisy = run(&m, &NetsimConfig::standard(), 8);
         assert!(
             noisy.stats.misassignment_rate() > 0.1,
             "3 km noise on ~5 km communes must misassign: {}",
@@ -422,7 +468,7 @@ mod tests {
         // cells do not coincide with commune boundaries (true of the real
         // network as well), so only the *additional* noise-driven
         // misassignment should disappear.
-        let ideal = collect(&m, &NetsimConfig::ideal(), 8);
+        let ideal = run(&m, &NetsimConfig::ideal(), 8);
         assert!(
             ideal.stats.misassignment_rate() < noisy.stats.misassignment_rate() * 0.75,
             "ideal {} vs noisy {}",
@@ -434,8 +480,8 @@ mod tests {
     #[test]
     fn collection_is_deterministic() {
         let m = model();
-        let a = collect(&m, &NetsimConfig::standard(), 9);
-        let b = collect(&m, &NetsimConfig::standard(), 9);
+        let a = run(&m, &NetsimConfig::standard(), 9);
+        let b = run(&m, &NetsimConfig::standard(), 9);
         assert_eq!(a.stats.sessions, b.stats.sessions);
         assert_eq!(a.stats.misassigned_sessions, b.stats.misassigned_sessions);
         assert_eq!(
@@ -459,11 +505,16 @@ mod tests {
     }
 
     #[test]
-    fn zero_fault_plan_is_bit_identical_to_plain_collect() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_unified_entry_point() {
+        // The thin `collect`/`collect_with_faults` shims and an explicit
+        // no-fault `CollectOptions` all land on the same bits.
         let m = model();
         let cfg = NetsimConfig::standard();
-        let plain = collect(&m, &cfg, 12);
+        let plain = run(&m, &cfg, 12);
+        let wrapped = collect(&m, &cfg, 12);
         let faultless = collect_with_faults(&m, &cfg, &crate::FaultPlan::none(), 12).unwrap();
+        assert_eq!(plain.dataset.to_csv(), wrapped.dataset.to_csv());
         assert_eq!(plain.dataset.to_csv(), faultless.dataset.to_csv());
         assert_eq!(plain.stats.sessions, faultless.stats.sessions);
         assert_eq!(plain.stats.classified_mb, faultless.stats.classified_mb);
@@ -474,10 +525,11 @@ mod tests {
     fn faulted_collection_degrades_without_panicking() {
         let m = model();
         let cfg = NetsimConfig::standard();
-        let clean = collect(&m, &cfg, 13);
+        let clean = run(&m, &cfg, 13);
         let mut plan = crate::FaultPlan::degraded(13);
         plan.loss_prob = 0.10;
-        let out = collect_with_faults(&m, &cfg, &plan, 13).unwrap();
+        let out =
+            collect_with_options(&m, &cfg, &CollectOptions::with_faults(plan), 13).unwrap();
         let f = &out.stats.faults;
         assert!(f.lost_outage > 0, "Gn outage window must drop records: {f:?}");
         assert!(f.lost_records > 0 && f.duplicated_records > 0);
@@ -498,8 +550,9 @@ mod tests {
         let m = model();
         let cfg = NetsimConfig::standard();
         let plan = crate::FaultPlan::degraded(5);
-        let a = collect_with_faults(&m, &cfg, &plan, 14).unwrap();
-        let b = collect_with_faults(&m, &cfg, &plan, 14).unwrap();
+        let opts = CollectOptions::with_faults(plan);
+        let a = collect_with_options(&m, &cfg, &opts, 14).unwrap();
+        let b = collect_with_options(&m, &cfg, &opts, 14).unwrap();
         assert_eq!(a.dataset.to_csv(), b.dataset.to_csv());
         assert_eq!(a.stats.faults, b.stats.faults);
     }
@@ -509,16 +562,45 @@ mod tests {
         let m = model();
         let mut cfg = NetsimConfig::standard();
         cfg.routing_area_km = -1.0;
-        assert!(collect_with_faults(&m, &cfg, &crate::FaultPlan::none(), 1).is_err());
+        assert!(collect_with_options(&m, &cfg, &CollectOptions::default(), 1).is_err());
         let mut plan = crate::FaultPlan::none();
         plan.loss_prob = 7.0;
-        assert!(collect_with_faults(&m, &NetsimConfig::standard(), &plan, 1).is_err());
+        let opts = CollectOptions::with_faults(plan);
+        assert!(collect_with_options(&m, &NetsimConfig::standard(), &opts, 1).is_err());
+        let opts = CollectOptions::default().chunk_size(0);
+        assert!(collect_with_options(&m, &NetsimConfig::standard(), &opts, 1).is_err());
+    }
+
+    #[test]
+    fn chunked_collection_is_bit_identical_and_bounded() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let reference = run(&m, &cfg, 15);
+        for chunk_size in [1usize, 7, 1 << 20] {
+            let opts = CollectOptions::default().chunk_size(chunk_size);
+            let out = collect_with_options(&m, &cfg, &opts, 15).unwrap();
+            assert_eq!(
+                reference.dataset.to_csv(),
+                out.dataset.to_csv(),
+                "chunk_size {chunk_size} diverged"
+            );
+            assert_eq!(out.ingest.chunk_size, chunk_size);
+            assert!(
+                out.ingest.peak_resident_records <= out.ingest.resident_budget(),
+                "peak {} over budget {}",
+                out.ingest.peak_resident_records,
+                out.ingest.resident_budget()
+            );
+            assert_eq!(out.ingest.records, out.stats.gn_records + out.stats.s5s8_records);
+            assert_eq!(out.ingest.bytes_read, 0, "synthetic source reads no storage");
+            assert!(out.ingest.chunks >= 1);
+        }
     }
 
     #[test]
     fn tail_ranking_is_filled() {
         let m = model();
-        let out = collect(&m, &NetsimConfig::standard(), 10);
+        let out = run(&m, &NetsimConfig::standard(), 10);
         let tail = out.dataset.tail_weekly(Direction::Down);
         assert_eq!(tail.len(), 30);
         assert!(tail.iter().all(|v| *v > 0.0));

@@ -9,12 +9,21 @@
 //! the radio layer.
 //!
 //! Capture and replay both understand degraded collection: a
-//! [`FaultPlan`] degrades the captured stream exactly as
-//! [`collect_with_faults`](crate::pipeline::collect_with_faults) would
-//! (see [`observe_sessions_with_faults`]), corrupts serialized lines
-//! ([`trace_to_csv_faulty`]), and [`replay_lossy`] skips-and-counts
-//! malformed or non-finite lines (with 1-based line numbers) instead of
-//! aborting the whole replay.
+//! [`FaultPlan`] in [`CollectOptions`] degrades the captured stream
+//! exactly as
+//! [`collect_with_options`](crate::pipeline::collect_with_options) would
+//! (see [`observe_with_options`]), corrupts serialized lines
+//! ([`trace_to_csv_faulty`]), and [`replay_lossy`] / [`replay_from`]
+//! skip-and-count malformed or non-finite lines (with 1-based line
+//! numbers) instead of aborting the whole replay.
+//!
+//! Traces stream both ways: [`write_trace_to`] serializes records to any
+//! writer one line at a time, and [`read_trace_from`] /
+//! [`replay_from`] read from any [`BufRead`] — `replay_from` aggregates
+//! through the bounded-memory engine of [`crate::ingest`] without ever
+//! materializing the record vector.
+
+use std::io::{BufRead, Write};
 
 use mobilenet_geo::CommuneId;
 use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset, HOURS_PER_WEEK};
@@ -25,6 +34,7 @@ use rand::{Rng, SeedableRng};
 use crate::classifier::{DpiClassifier, ServiceLabel};
 use crate::config::NetsimConfig;
 use crate::faults::{FaultInjector, FaultPlan, FaultStats};
+use crate::ingest::{CollectOptions, IngestError, TraceSource};
 use crate::pipeline::{build_capture, probe_shard_rng, CollectionStats};
 use crate::probe::Probe;
 use crate::records::{FlowSignature, Interface, SessionRecord};
@@ -44,45 +54,36 @@ pub struct CaptureSummary {
     pub faults: FaultStats,
 }
 
-/// Runs the capture side only: sessions → probes → `sink`, one record per
-/// session, without aggregation. Deterministic in `(model, config, seed)`
-/// and produces exactly the records [`crate::pipeline::collect`] would
-/// aggregate: the capture iterates the same per-service shards with the
-/// same derived RNG streams, serially in shard order (the trace is an
-/// ordered artefact, so the stream itself is not parallelized).
+/// Runs the capture side only: sessions → probes → (faults) → `sink`, one
+/// record per session, without aggregation — the unified entry point
+/// behind the historical `observe_sessions` /
+/// `observe_sessions_with_faults` pair.
 ///
-/// Returns the number of sessions observed, or an `Err` describing why
-/// the configuration is invalid.
-pub fn observe_sessions(
+/// Deterministic in `(model, config, options, seed)` and produces exactly
+/// the records
+/// [`collect_with_options`](crate::pipeline::collect_with_options) would
+/// aggregate: the capture iterates the same per-service shards with the
+/// same derived RNG (and fault RNG) streams, serially in shard order (the
+/// trace is an ordered artefact, so the stream itself is not
+/// parallelized). Capture is already record-at-a-time — at most one
+/// record is resident between the probe and the sink —
+/// so `options.chunk_size` does not change its behaviour; it is still
+/// validated so one `CollectOptions` value can drive both paths.
+pub fn observe_with_options(
     model: &DemandModel,
     config: &NetsimConfig,
-    seed: u64,
-    sink: impl FnMut(&SessionRecord),
-) -> Result<u64, String> {
-    observe_sessions_with_faults(model, config, &FaultPlan::none(), seed, sink)
-        .map(|summary| summary.sessions)
-}
-
-/// Like [`observe_sessions`], but degrades the stream through `faults`
-/// between probe observation and the sink — the same per-shard fault RNG
-/// streams [`collect_with_faults`](crate::pipeline::collect_with_faults)
-/// uses, so a captured trace contains exactly the records a faulted
-/// collection would aggregate.
-pub fn observe_sessions_with_faults(
-    model: &DemandModel,
-    config: &NetsimConfig,
-    faults: &FaultPlan,
+    options: &CollectOptions,
     seed: u64,
     mut sink: impl FnMut(&SessionRecord),
 ) -> Result<CaptureSummary, String> {
     config.validate()?;
-    faults.validate()?;
+    options.validate()?;
     let (radio, classifier, directions) = build_capture(model, config, seed);
     let probe = Probe::new(&radio, UliModel::new(config), &classifier)
         .with_movement_directions(directions);
     let generator = SessionGenerator::new(model, seed);
-    let injector = FaultInjector::new(faults);
-    let faulted = !faults.is_none();
+    let injector = FaultInjector::new(&options.faults);
+    let faulted = !options.faults.is_none();
     let mut summary = CaptureSummary::default();
     for shard in 0..generator.shards() {
         let mut probe_rng = probe_shard_rng(seed, shard);
@@ -101,6 +102,30 @@ pub fn observe_sessions_with_faults(
         });
     }
     Ok(summary)
+}
+
+/// Fault-free capture; returns the number of sessions observed.
+#[deprecated(note = "use observe_with_options(model, config, &CollectOptions::default(), seed, sink)")]
+pub fn observe_sessions(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    seed: u64,
+    sink: impl FnMut(&SessionRecord),
+) -> Result<u64, String> {
+    observe_with_options(model, config, &CollectOptions::default(), seed, sink)
+        .map(|summary| summary.sessions)
+}
+
+/// Capture degraded through `faults`.
+#[deprecated(note = "use observe_with_options(model, config, &CollectOptions::with_faults(plan), seed, sink)")]
+pub fn observe_sessions_with_faults(
+    model: &DemandModel,
+    config: &NetsimConfig,
+    faults: &FaultPlan,
+    seed: u64,
+    sink: impl FnMut(&SessionRecord),
+) -> Result<CaptureSummary, String> {
+    observe_with_options(model, config, &CollectOptions::with_faults(faults.clone()), seed, sink)
 }
 
 /// Serializes one record as a CSV line (no trailing newline).
@@ -174,15 +199,26 @@ pub fn record_from_line(line: &str) -> Result<SessionRecord, String> {
     })
 }
 
-/// Serializes a whole trace (header + one line per record).
-pub fn trace_to_csv<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) -> String {
-    let mut out = String::from(TRACE_HEADER);
-    out.push('\n');
+/// Streams a whole trace (header + one line per record) to any writer —
+/// records are serialized one at a time, so a capture can be piped
+/// straight to disk without materializing the trace text.
+pub fn write_trace_to<'a, W: Write>(
+    mut writer: W,
+    records: impl IntoIterator<Item = &'a SessionRecord>,
+) -> std::io::Result<()> {
+    writeln!(writer, "{TRACE_HEADER}")?;
     for r in records {
-        out.push_str(&record_to_line(r));
-        out.push('\n');
+        writeln!(writer, "{}", record_to_line(r))?;
     }
-    out
+    Ok(())
+}
+
+/// Serializes a whole trace (header + one line per record) as a `String`
+/// — [`write_trace_to`] into an in-memory buffer.
+pub fn trace_to_csv<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) -> String {
+    let mut out = Vec::new();
+    write_trace_to(&mut out, records).expect("writing a trace to memory cannot fail");
+    String::from_utf8(out).expect("trace lines are ASCII")
 }
 
 /// Serializes a trace while corrupting a `plan.corrupt_prob` fraction of
@@ -255,28 +291,67 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Walks a trace from any reader, line by line, dispatching each parsed
+/// record (or line-numbered parse failure) to `on_row`. I/O errors are
+/// reported as a [`TraceError`] at the line where reading failed. The
+/// shared core of the strict and lossy reader paths.
+fn walk_trace<R: BufRead>(
+    mut reader: R,
+    mut on_row: impl FnMut(Result<SessionRecord, TraceError>) -> Result<(), TraceError>,
+) -> Result<(), TraceError> {
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let read_line = |reader: &mut R, line: &mut String, line_no: usize| {
+        line.clear();
+        let n = reader
+            .read_line(line)
+            .map_err(|e| TraceError { line: line_no + 1, message: format!("i/o error: {e}") })?;
+        // Same semantics as `str::lines`: strip one `\n`, then at most
+        // one `\r` before it.
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+        }
+        Ok::<bool, TraceError>(n > 0)
+    };
+    if !read_line(&mut reader, &mut line, line_no)? || line != TRACE_HEADER {
+        return Err(TraceError {
+            line: 1,
+            message: "missing/unsupported trace header".into(),
+        });
+    }
+    line_no = 1;
+    while read_line(&mut reader, &mut line, line_no)? {
+        line_no += 1;
+        on_row(
+            record_from_line(&line).map_err(|message| TraceError { line: line_no, message }),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace incrementally from any reader, strictly: the first bad
+/// line aborts the parse. The reader-based counterpart of
+/// [`trace_from_csv`]; for bounded-memory *aggregation* of a trace, see
+/// [`replay_from`] (which never materializes the record vector at all).
+pub fn read_trace_from<R: BufRead>(reader: R) -> Result<Vec<SessionRecord>, TraceError> {
+    let mut records = Vec::new();
+    walk_trace(reader, |row| {
+        records.push(row?);
+        Ok(())
+    })?;
+    Ok(records)
+}
+
 /// Parses a trace written by [`trace_to_csv`], strictly: the first bad
-/// line aborts the parse.
+/// line aborts the parse — [`read_trace_from`] over an in-memory buffer.
 ///
 /// Errors carry the 1-based line number of the offending row. For traces
 /// from degraded collection, use [`trace_from_csv_lossy`] instead.
 pub fn trace_from_csv(text: &str) -> Result<Vec<SessionRecord>, TraceError> {
-    let mut lines = text.lines();
-    match lines.next() {
-        Some(TRACE_HEADER) => {}
-        _ => {
-            return Err(TraceError {
-                line: 1,
-                message: "missing/unsupported trace header".into(),
-            })
-        }
-    }
-    lines
-        .enumerate()
-        .map(|(i, line)| {
-            record_from_line(line).map_err(|message| TraceError { line: i + 2, message })
-        })
-        .collect()
+    read_trace_from(text.as_bytes())
 }
 
 /// A lossy trace parse: the records that survived plus every skipped
@@ -289,36 +364,38 @@ pub struct LossyTrace {
     pub skipped: Vec<TraceError>,
 }
 
+/// Reads a trace incrementally from any reader, leniently: malformed or
+/// non-finite rows are skipped and collected (with their 1-based line
+/// numbers) instead of aborting. Only a missing header or an I/O failure
+/// is fatal.
+pub fn read_trace_from_lossy<R: BufRead>(reader: R) -> Result<LossyTrace, TraceError> {
+    let mut records = Vec::new();
+    let mut skipped = Vec::new();
+    walk_trace(reader, |row| {
+        match row {
+            Ok(r) => records.push(r),
+            Err(e) => skipped.push(e),
+        }
+        Ok(())
+    })?;
+    Ok(LossyTrace { records, skipped })
+}
+
 /// Parses a trace leniently: malformed or non-finite rows are skipped and
-/// counted (with their 1-based line numbers) instead of aborting.
+/// counted (with their 1-based line numbers) instead of aborting —
+/// [`read_trace_from_lossy`] over an in-memory buffer.
 ///
 /// Only a missing or unsupported header is fatal — without it the file is
 /// not a trace at all.
 pub fn trace_from_csv_lossy(text: &str) -> Result<LossyTrace, TraceError> {
-    let mut lines = text.lines();
-    match lines.next() {
-        Some(TRACE_HEADER) => {}
-        _ => {
-            return Err(TraceError {
-                line: 1,
-                message: "missing/unsupported trace header".into(),
-            })
-        }
-    }
-    let mut records = Vec::new();
-    let mut skipped = Vec::new();
-    for (i, line) in lines.enumerate() {
-        match record_from_line(line) {
-            Ok(r) => records.push(r),
-            Err(message) => skipped.push(TraceError { line: i + 2, message }),
-        }
-    }
-    Ok(LossyTrace { records, skipped })
+    read_trace_from_lossy(text.as_bytes())
 }
 
 /// Replays one record through the classifier into `ds`, accumulating the
-/// replay-side diagnostics.
-fn replay_record(
+/// replay-side diagnostics. Shared with the streaming engine
+/// ([`crate::ingest::ingest`]), so a chunked replay folds records exactly
+/// as the materialized one.
+pub(crate) fn replay_record(
     r: &SessionRecord,
     classifier: &DpiClassifier,
     ds: &mut TrafficDataset,
@@ -394,31 +471,50 @@ pub struct LossyReplay {
     pub stats: CollectionStats,
     /// One error per skipped trace row.
     pub skipped: Vec<TraceError>,
+    /// Streaming-engine accounting of the replay.
+    pub ingest: crate::ingest::IngestStats,
 }
 
-/// Parses `text` leniently ([`trace_from_csv_lossy`]) and replays every
-/// surviving record into a dataset — the graceful-degradation path for
-/// traces produced by imperfect capture or storage.
+/// Replays a trace incrementally from any reader through the lossy parser
+/// and the streaming engine into a dataset shaped like `model`'s country —
+/// the bounded-memory counterpart of [`replay_lossy`]: at most
+/// `options.chunk_size` records are resident at a time, and the result is
+/// bit-identical to the materialized path at any chunk size.
 ///
-/// Only a bad header is fatal. Skipped-line counts are exported to the
-/// observability registry as `netsim.faults.skipped_lines`.
+/// Only a bad header or an I/O failure is fatal. Skipped-line counts are
+/// exported to the observability registry as
+/// `netsim.faults.skipped_lines`.
+pub fn replay_from<R: BufRead + Send>(
+    reader: R,
+    model: &DemandModel,
+    options: &CollectOptions,
+) -> Result<LossyReplay, IngestError> {
+    let source = TraceSource::lossy(reader);
+    let out = crate::ingest::ingest(&source, model, options)?;
+    Ok(LossyReplay {
+        dataset: out.dataset,
+        stats: out.stats,
+        skipped: source.take_skipped(),
+        ingest: out.ingest,
+    })
+}
+
+/// Parses `text` leniently and replays every surviving record into a
+/// dataset — [`replay_from`] over an in-memory buffer, kept for callers
+/// that already hold the trace text.
 pub fn replay_lossy(text: &str, model: &DemandModel) -> Result<LossyReplay, TraceError> {
-    let lossy = trace_from_csv_lossy(text)?;
-    let (classifier, mut ds) = replay_setup(model);
-    let mut stats = CollectionStats::default();
-    for r in &lossy.records {
-        replay_record(r, &classifier, &mut ds, &mut stats);
-    }
-    model.fill_tail(&mut ds);
-    stats.skipped_lines = lossy.skipped.len() as u64;
-    mobilenet_obs::add("netsim.faults.skipped_lines", stats.skipped_lines);
-    Ok(LossyReplay { dataset: ds, stats, skipped: lossy.skipped })
+    replay_from(text.as_bytes(), model, &CollectOptions::default()).map_err(|e| match e {
+        IngestError::Trace(e) => e,
+        // In-memory readers cannot fail I/O, and a single-shard merge
+        // cannot mismatch shapes; keep the signature total anyway.
+        other => TraceError { line: 0, message: other.to_string() },
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{collect, collect_with_faults};
+    use crate::pipeline::{collect_with_options, CollectionOutput};
     use mobilenet_geo::{Country, CountryConfig};
     use mobilenet_traffic::{ServiceCatalog, TrafficConfig};
     use std::sync::Arc;
@@ -427,6 +523,21 @@ mod tests {
         let country = Arc::new(Country::generate(&CountryConfig::small(), 3));
         let catalog = Arc::new(ServiceCatalog::standard(20));
         DemandModel::new(country, catalog, TrafficConfig::fast(), 11)
+    }
+
+    /// Fault-free collection through the unified entry point.
+    fn run(m: &DemandModel, cfg: &NetsimConfig, seed: u64) -> CollectionOutput {
+        collect_with_options(m, cfg, &CollectOptions::default(), seed).expect("valid config")
+    }
+
+    /// Fault-free capture through the unified entry point.
+    fn capture(m: &DemandModel, cfg: &NetsimConfig, seed: u64) -> Vec<SessionRecord> {
+        let mut records = Vec::new();
+        observe_with_options(m, cfg, &CollectOptions::default(), seed, |r| {
+            records.push(r.clone())
+        })
+        .expect("valid config");
+        records
     }
 
     #[test]
@@ -476,11 +587,10 @@ mod tests {
         let m = model();
         let cfg = NetsimConfig::standard();
         // Path A: the normal pipeline.
-        let direct = collect(&m, &cfg, 7).dataset;
+        let direct = run(&m, &cfg, 7).dataset;
 
         // Path B: capture → CSV → parse → replay.
-        let mut records = Vec::new();
-        observe_sessions(&m, &cfg, 7, |r| records.push(r.clone())).unwrap();
+        let records = capture(&m, &cfg, 7);
         let csv = trace_to_csv(&records);
         let parsed = trace_from_csv(&csv).unwrap();
         assert_eq!(parsed.len(), records.len());
@@ -516,10 +626,8 @@ mod tests {
     fn observe_sessions_is_deterministic() {
         let m = model();
         let cfg = NetsimConfig::standard();
-        let mut a = Vec::new();
-        observe_sessions(&m, &cfg, 5, |r| a.push(r.clone())).unwrap();
-        let mut b = Vec::new();
-        observe_sessions(&m, &cfg, 5, |r| b.push(r.clone())).unwrap();
+        let a = capture(&m, &cfg, 5);
+        let b = capture(&m, &cfg, 5);
         assert_eq!(a.len(), b.len());
         assert_eq!(a.first(), b.first());
         assert_eq!(a.last(), b.last());
@@ -530,13 +638,19 @@ mod tests {
         let m = model();
         let mut cfg = NetsimConfig::standard();
         cfg.uli_stale_prob = 2.0;
-        let err = observe_sessions(&m, &cfg, 5, |_| {}).unwrap_err();
+        let err =
+            observe_with_options(&m, &cfg, &CollectOptions::default(), 5, |_| {}).unwrap_err();
         assert!(err.contains("uli_stale_prob"), "{err}");
         let mut plan = FaultPlan::none();
         plan.dup_prob = -0.5;
-        let err = observe_sessions_with_faults(&m, &NetsimConfig::standard(), &plan, 5, |_| {})
+        let opts = CollectOptions::with_faults(plan);
+        let err = observe_with_options(&m, &NetsimConfig::standard(), &opts, 5, |_| {})
             .unwrap_err();
         assert!(err.contains("dup_prob"), "{err}");
+        let opts = CollectOptions::default().chunk_size(0);
+        let err = observe_with_options(&m, &NetsimConfig::standard(), &opts, 5, |_| {})
+            .unwrap_err();
+        assert!(err.contains("chunk_size"), "{err}");
     }
 
     #[test]
@@ -545,13 +659,12 @@ mod tests {
         // exactly the records a faulted collection aggregates.
         let m = model();
         let cfg = NetsimConfig::standard();
-        let plan = FaultPlan::degraded(21);
-        let direct = collect_with_faults(&m, &cfg, &plan, 7).unwrap();
+        let opts = CollectOptions::with_faults(FaultPlan::degraded(21));
+        let direct = collect_with_options(&m, &cfg, &opts, 7).unwrap();
 
         let mut records = Vec::new();
         let summary =
-            observe_sessions_with_faults(&m, &cfg, &plan, 7, |r| records.push(r.clone()))
-                .unwrap();
+            observe_with_options(&m, &cfg, &opts, 7, |r| records.push(r.clone())).unwrap();
         assert_eq!(summary.emitted as usize, records.len());
         assert_eq!(summary.sessions, direct.stats.sessions);
         assert_eq!(summary.faults, direct.stats.faults);
@@ -576,8 +689,7 @@ mod tests {
     fn corrupted_trace_round_trips_through_the_lossy_path() {
         let m = model();
         let cfg = NetsimConfig::standard();
-        let mut records = Vec::new();
-        observe_sessions(&m, &cfg, 9, |r| records.push(r.clone())).unwrap();
+        let records = capture(&m, &cfg, 9);
 
         let mut plan = FaultPlan::none();
         plan.seed = 4;
@@ -612,5 +724,81 @@ mod tests {
             clean.dataset.total(Direction::Down),
             replay(&records, &m).total(Direction::Down)
         );
+    }
+
+    #[test]
+    fn writer_and_reader_apis_round_trip_the_csv_forms() {
+        let m = model();
+        let records = capture(&m, &NetsimConfig::standard(), 11);
+
+        // write_trace_to into memory is exactly trace_to_csv.
+        let mut buf = Vec::new();
+        write_trace_to(&mut buf, &records).unwrap();
+        let csv = trace_to_csv(&records);
+        assert_eq!(String::from_utf8(buf).unwrap(), csv);
+
+        // read_trace_from over any reader is exactly trace_from_csv,
+        // including \r\n line endings.
+        let parsed = read_trace_from(csv.as_bytes()).unwrap();
+        assert_eq!(parsed, trace_from_csv(&csv).unwrap());
+        let crlf = csv.replace('\n', "\r\n");
+        assert_eq!(read_trace_from(crlf.as_bytes()).unwrap(), parsed);
+
+        // Strict reading reports the offending 1-based line number.
+        let mut broken = csv.clone();
+        broken.push_str("gn,999,1.0,1.0,5,0xff,0\n");
+        let err = read_trace_from(broken.as_bytes()).unwrap_err();
+        assert_eq!(err.line, records.len() + 2);
+        assert!(read_trace_from_lossy(broken.as_bytes()).unwrap().skipped.len() == 1);
+    }
+
+    #[test]
+    fn streaming_replay_matches_materialized_at_any_chunk_size() {
+        let m = model();
+        let records = capture(&m, &NetsimConfig::standard(), 13);
+        let csv = trace_to_csv(&records);
+        let reference = replay_lossy(&csv, &m).unwrap();
+        for chunk_size in [1usize, 97, records.len() + 10] {
+            let opts = CollectOptions::default().chunk_size(chunk_size);
+            let out = replay_from(csv.as_bytes(), &m, &opts).unwrap();
+            assert_eq!(
+                reference.dataset.to_csv(),
+                out.dataset.to_csv(),
+                "chunk_size {chunk_size} diverged"
+            );
+            assert_eq!(out.stats.sessions, reference.stats.sessions);
+            assert_eq!(out.ingest.records, records.len() as u64);
+            assert_eq!(out.ingest.bytes_read, csv.len() as u64);
+            assert!(out.ingest.peak_resident_records <= out.ingest.resident_budget());
+            assert_eq!(
+                out.ingest.chunks,
+                (records.len() as u64).div_ceil(chunk_size as u64)
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_observe_wrappers_match_the_unified_entry_point() {
+        let m = model();
+        let cfg = NetsimConfig::standard();
+        let via_options = capture(&m, &cfg, 17);
+        let mut via_wrapper = Vec::new();
+        let n = observe_sessions(&m, &cfg, 17, |r| via_wrapper.push(r.clone())).unwrap();
+        assert_eq!(via_options, via_wrapper);
+        let plan = FaultPlan::degraded(3);
+        let mut faulted_wrapper = Vec::new();
+        let summary =
+            observe_sessions_with_faults(&m, &cfg, &plan, 17, |r| {
+                faulted_wrapper.push(r.clone())
+            })
+            .unwrap();
+        assert_eq!(summary.sessions, n);
+        let mut faulted_options = Vec::new();
+        observe_with_options(&m, &cfg, &CollectOptions::with_faults(plan), 17, |r| {
+            faulted_options.push(r.clone())
+        })
+        .unwrap();
+        assert_eq!(faulted_options, faulted_wrapper);
     }
 }

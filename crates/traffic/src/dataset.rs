@@ -273,76 +273,104 @@ impl TrafficDataset {
         &self.commune_class
     }
 
-    /// Serializes the dataset to a sectioned CSV text format, so studies
-    /// can be exported once and re-analyzed without regenerating.
+    /// Streams the dataset's sectioned CSV format to any writer, one
+    /// logical row at a time — a dataset export never materializes the
+    /// full text in memory.
     ///
     /// Format: a header line, then one line per logical row
     /// (`section,key...,values...`). Round-trips exactly through
-    /// [`TrafficDataset::from_csv`] (floats are written with full
-    /// precision).
-    pub fn to_csv(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
+    /// [`TrafficDataset::read_from`] / [`TrafficDataset::from_csv`]
+    /// (floats are written with full precision).
+    pub fn write_to<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(
+            writer,
             "#mobilenet-dataset v1,{},{},{}",
             self.n_services,
             self.n_communes,
             self.n_tail()
-        );
-        let _ = writeln!(
-            out,
+        )?;
+        writeln!(
+            writer,
             "unclassified,{:e},{:e}",
             self.unclassified[0], self.unclassified[1]
-        );
+        )?;
         let join = |xs: &[f64]| {
             xs.iter().map(|v| format!("{v:e}")).collect::<Vec<_>>().join(",")
         };
-        let _ = writeln!(out, "commune_users,{}", join(&self.commune_users));
+        writeln!(writer, "commune_users,{}", join(&self.commune_users))?;
         let classes: Vec<String> =
             self.commune_class.iter().map(|c| c.to_string()).collect();
-        let _ = writeln!(out, "commune_class,{}", classes.join(","));
+        writeln!(writer, "commune_class,{}", classes.join(","))?;
         for d in 0..2 {
             for s in 0..self.n_services {
                 let start = self.nh_index(d, s, 0);
-                let _ = writeln!(
-                    out,
+                writeln!(
+                    writer,
                     "national_hourly,{d},{s},{}",
                     join(&self.national_hourly[start..start + HOURS_PER_WEEK])
-                );
+                )?;
                 let cw = self.cw_index(d, s, 0);
-                let _ = writeln!(
-                    out,
+                writeln!(
+                    writer,
                     "commune_weekly,{d},{s},{}",
                     join(&self.commune_weekly[cw..cw + self.n_communes])
-                );
+                )?;
                 for class in 0..4 {
                     let ch = self.ch_index(d, s, class, 0);
-                    let _ = writeln!(
-                        out,
+                    writeln!(
+                        writer,
                         "class_hourly,{d},{s},{class},{}",
                         join(&self.class_hourly[ch..ch + HOURS_PER_WEEK])
-                    );
+                    )?;
                 }
             }
             let n = self.n_tail();
-            let _ = writeln!(
-                out,
+            writeln!(
+                writer,
                 "tail_weekly,{d},{}",
                 join(&self.tail_weekly[d * n..(d + 1) * n])
-            );
+            )?;
         }
-        out
+        Ok(())
     }
 
-    /// Parses a dataset previously written by [`TrafficDataset::to_csv`].
+    /// Serializes the dataset to its sectioned CSV text format —
+    /// [`TrafficDataset::write_to`] into an in-memory buffer, kept for
+    /// callers that want the text itself.
+    pub fn to_csv(&self) -> String {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("writing a dataset to memory cannot fail");
+        String::from_utf8(out).expect("dataset CSV is ASCII")
+    }
+
+    /// Reads a dataset incrementally from any reader — rows are parsed
+    /// and applied one line at a time, so loading a multi-gigabyte export
+    /// never holds more than one line of text.
     ///
-    /// Errors carry the 1-based line number of the offending row, so a
-    /// caller (or a CLI user) can locate the problem in the file.
-    pub fn from_csv(text: &str) -> Result<TrafficDataset, DatasetError> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| DatasetError::at(1, "empty input"))?;
-        let header = header
+    /// Errors carry the 1-based line number of the offending row (I/O
+    /// failures report the line where reading stopped), so a caller (or a
+    /// CLI user) can locate the problem in the file.
+    pub fn read_from<R: std::io::BufRead>(mut reader: R) -> Result<TrafficDataset, DatasetError> {
+        let mut line = String::new();
+        let read_line = |reader: &mut R, line: &mut String, line_no: usize| {
+            line.clear();
+            let n = reader.read_line(line).map_err(|e| {
+                DatasetError::at(line_no + 1, format!("i/o error: {e}"))
+            })?;
+            // Same semantics as `str::lines`: strip one `\n`, then at
+            // most one `\r` before it.
+            if line.ends_with('\n') {
+                line.pop();
+                if line.ends_with('\r') {
+                    line.pop();
+                }
+            }
+            Ok::<bool, DatasetError>(n > 0)
+        };
+        if !read_line(&mut reader, &mut line, 0)? {
+            return Err(DatasetError::at(1, "empty input"));
+        }
+        let header = line
             .strip_prefix("#mobilenet-dataset v1,")
             .ok_or_else(|| DatasetError::at(1, "missing/unsupported header"))?;
         let dims: Vec<usize> = header
@@ -369,8 +397,10 @@ impl TrafficDataset {
             class_users: [0.0; 4],
         };
 
-        for (i, line) in lines.enumerate() {
-            ds.apply_csv_line(line, n_tail).map_err(|m| DatasetError::at(i + 2, m))?;
+        let mut line_no = 1usize;
+        while read_line(&mut reader, &mut line, line_no)? {
+            line_no += 1;
+            ds.apply_csv_line(&line, n_tail).map_err(|m| DatasetError::at(line_no, m))?;
         }
 
         // Recompute the derived class_users table.
@@ -383,6 +413,12 @@ impl TrafficDataset {
         }
         ds.class_users = class_users;
         Ok(ds)
+    }
+
+    /// Parses a dataset previously written by [`TrafficDataset::to_csv`]
+    /// — [`TrafficDataset::read_from`] over an in-memory buffer.
+    pub fn from_csv(text: &str) -> Result<TrafficDataset, DatasetError> {
+        TrafficDataset::read_from(text.as_bytes())
     }
 
     /// Applies one body row of the CSV format to `self`.
@@ -475,15 +511,43 @@ impl TrafficDataset {
     }
 
     /// Merges another dataset (same shape) into this one. Used to combine
-    /// chunks generated in parallel.
+    /// partials generated in parallel and to fold datasets from
+    /// independent exports.
     ///
-    /// # Panics
-    ///
-    /// Panics if the shapes differ.
-    pub fn merge(&mut self, other: &TrafficDataset) {
-        assert_eq!(self.n_services, other.n_services);
-        assert_eq!(self.n_communes, other.n_communes);
-        assert_eq!(self.tail_weekly.len(), other.tail_weekly.len());
+    /// Validates shape compatibility first and returns a typed
+    /// [`DatasetError`] on any mismatch (service count, commune count,
+    /// tail length), leaving `self` untouched — two exports of different
+    /// scales can no longer silently mis-merge or panic deep inside a
+    /// pipeline.
+    pub fn merge(&mut self, other: &TrafficDataset) -> Result<(), DatasetError> {
+        if self.n_services != other.n_services {
+            return Err(DatasetError::at(
+                0,
+                format!(
+                    "cannot merge: {} head services vs {}",
+                    self.n_services, other.n_services
+                ),
+            ));
+        }
+        if self.n_communes != other.n_communes {
+            return Err(DatasetError::at(
+                0,
+                format!(
+                    "cannot merge: {} communes vs {}",
+                    self.n_communes, other.n_communes
+                ),
+            ));
+        }
+        if self.tail_weekly.len() != other.tail_weekly.len() {
+            return Err(DatasetError::at(
+                0,
+                format!(
+                    "cannot merge: {} tail services vs {}",
+                    self.n_tail(),
+                    other.n_tail()
+                ),
+            ));
+        }
         for (a, b) in self.national_hourly.iter_mut().zip(&other.national_hourly) {
             *a += b;
         }
@@ -498,6 +562,7 @@ impl TrafficDataset {
         }
         self.unclassified[0] += other.unclassified[0];
         self.unclassified[1] += other.unclassified[1];
+        Ok(())
     }
 }
 
@@ -636,10 +701,57 @@ mod tests {
         b.add(Direction::Down, 2, id, 5, 2.0);
         b.add_tail(Direction::Up, 3, 4.0);
         b.add_unclassified(Direction::Up, 1.0);
-        a.merge(&b);
+        a.merge(&b).expect("same shape");
         assert_eq!(a.national_series(Direction::Down, 2)[5], 3.0);
         assert_eq!(a.tail_weekly(Direction::Up)[3], 4.0);
         assert_eq!(a.unclassified(Direction::Up), 1.0);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatches_with_typed_errors() {
+        let (country, mut a) = dataset();
+        let before = a.to_csv();
+
+        let more_services = TrafficDataset::new(&country, 4, 10, 0.5);
+        let err = a.merge(&more_services).unwrap_err();
+        assert!(err.message.contains("head services"), "{err}");
+
+        let more_tail = TrafficDataset::new(&country, 3, 11, 0.5);
+        let err = a.merge(&more_tail).unwrap_err();
+        assert!(err.message.contains("tail services"), "{err}");
+
+        let other_country = Country::generate(&CountryConfig::small(), 6);
+        if other_country.communes().len() != country.communes().len() {
+            let other = TrafficDataset::new(&other_country, 3, 10, 0.5);
+            let err = a.merge(&other).unwrap_err();
+            assert!(err.message.contains("communes"), "{err}");
+        }
+
+        // A failed merge leaves the target untouched.
+        assert_eq!(a.to_csv(), before);
+    }
+
+    #[test]
+    fn reader_and_writer_apis_match_the_string_forms() {
+        let (country, mut ds) = dataset();
+        for (i, c) in country.communes().iter().enumerate().take(25) {
+            ds.add(Direction::Down, i % 3, c.id, i % HOURS_PER_WEEK, 1.0 + i as f64);
+        }
+        let mut buf = Vec::new();
+        ds.write_to(&mut buf).expect("write to memory");
+        let text = ds.to_csv();
+        assert_eq!(String::from_utf8(buf).unwrap(), text);
+
+        let via_reader = TrafficDataset::read_from(text.as_bytes()).expect("read");
+        assert_eq!(via_reader.to_csv(), text);
+        // \r\n line endings parse identically.
+        let crlf = text.replace('\n', "\r\n");
+        assert_eq!(TrafficDataset::read_from(crlf.as_bytes()).unwrap().to_csv(), text);
+        // Errors still carry the 1-based line number.
+        let mut broken = text.clone();
+        broken.push_str("bogus,1,2\n");
+        let err = TrafficDataset::read_from(broken.as_bytes()).unwrap_err();
+        assert_eq!(err.line, text.lines().count() + 1);
     }
 
     #[test]

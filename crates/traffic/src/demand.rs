@@ -283,7 +283,7 @@ impl DemandModel {
         });
         let mut ds = new_dataset();
         for partial in &partials {
-            ds.merge(partial);
+            ds.merge(partial).expect("partials share one shape by construction");
         }
         self.fill_tail(&mut ds);
         ds

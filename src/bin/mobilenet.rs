@@ -21,6 +21,10 @@
 //! loss/duplication, counter truncation, clock skew). `SPEC` is either
 //! the preset `degraded` or a comma-separated key=value list, e.g.
 //! `--faults seed=7,loss=0.05,dup=0.01,outage=gn:33-37`.
+//!
+//! `--chunk-size N` bounds the streaming-ingestion chunk size in
+//! records: peak resident records stay at or below `N × workers`, and
+//! the output is bit-identical at every chunk size.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +49,7 @@ struct Args {
     threads: Option<usize>,
     obs: Option<PathBuf>,
     faults: Option<FaultPlan>,
+    chunk_size: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -52,7 +57,7 @@ fn usage() -> ExitCode {
         "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
          [--scale small|medium|france] [--seed N] [--uplink] \
          [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE] \
-         [--faults SPEC]"
+         [--faults SPEC] [--chunk-size N]"
     );
     ExitCode::from(2)
 }
@@ -74,6 +79,7 @@ fn parse() -> Result<Args, ExitCode> {
         threads: None,
         obs: None,
         faults: None,
+        chunk_size: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -113,6 +119,17 @@ fn parse() -> Result<Args, ExitCode> {
                 args.threads = Some(n);
             }
             "--obs" => args.obs = Some(PathBuf::from(argv.next().ok_or_else(usage)?)),
+            "--chunk-size" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+                if n == 0 {
+                    return Err(usage());
+                }
+                args.chunk_size = Some(n);
+            }
             "--faults" => {
                 let spec = argv.next().ok_or_else(usage)?;
                 args.faults = Some(FaultPlan::parse(&spec).map_err(|e| {
@@ -164,6 +181,9 @@ fn run(args: &Args) -> Result<(), CliError> {
     }
     if let Some(plan) = &args.faults {
         builder = builder.faults(plan.clone());
+    }
+    if let Some(n) = args.chunk_size {
+        builder = builder.chunk_size(n);
     }
     // --obs enables collection; MOBILENET_OBS may also carry a path.
     let obs_path = args.obs.clone().or_else(mobilenet::obs::env_output_path);
@@ -245,8 +265,11 @@ fn run(args: &Args) -> Result<(), CliError> {
                 eprintln!("export needs --out FILE");
                 return Err(CliError::Usage(ExitCode::from(2)));
             };
-            let csv = study.dataset().to_csv();
-            std::fs::write(path, csv).map_err(Error::Io)?;
+            let file = std::fs::File::create(path).map_err(Error::Io)?;
+            let mut writer = std::io::BufWriter::new(file);
+            study.dataset().write_to(&mut writer).map_err(Error::Io)?;
+            use std::io::Write as _;
+            writer.flush().map_err(Error::Io)?;
             eprintln!("dataset written to {}", path.display());
         }
         other => {

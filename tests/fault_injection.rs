@@ -112,8 +112,11 @@ fn corrupted_trace_replays_through_the_lossy_path_end_to_end() {
 
     let mut records = Vec::new();
     let netsim = mobilenet::netsim::NetsimConfig::standard();
-    mobilenet::netsim::observe_sessions(model, &netsim, 5, |r| records.push(r.clone()))
-        .unwrap();
+    let options = mobilenet::netsim::CollectOptions::default();
+    mobilenet::netsim::observe_with_options(model, &netsim, &options, 5, |r| {
+        records.push(r.clone())
+    })
+    .unwrap();
 
     let plan = FaultPlan { seed: 5, corrupt_prob: 0.05, ..FaultPlan::none() };
     let corrupted = trace_to_csv_faulty(&records, &plan);

@@ -1,0 +1,120 @@
+//! Streaming bounded-memory ingestion across the whole stack.
+//!
+//! The contracts this file pins:
+//!
+//! * chunked collection is **bit-identical** to the materialized path at
+//!   every thread count and every chunk size — chunking bounds memory,
+//!   never the fold order;
+//! * the fault-injected path keeps the same guarantee: a degraded plan
+//!   streamed in tiny chunks produces the same bytes as the whole-shard
+//!   run;
+//! * peak resident records never exceed `chunk_size × workers`;
+//! * the ingest counters reported through the observability layer agree
+//!   with the stats the pipeline returns.
+
+use mobilenet::par::set_thread_override;
+use mobilenet::{FaultPlan, Pipeline, Scale, DEFAULT_SEED};
+
+/// One pipeline run: dataset CSV, collection stats and ingest stats.
+fn run(faults: FaultPlan, chunk_size: Option<usize>, seed: u64) -> mobilenet::Run {
+    let mut builder = Pipeline::builder().scale(Scale::Small).seed(seed).faults(faults);
+    if let Some(n) = chunk_size {
+        builder = builder.chunk_size(n);
+    }
+    builder.run().expect("valid configuration")
+}
+
+#[test]
+fn streaming_is_bit_identical_across_threads_and_chunk_sizes() {
+    // All thread counts run inside one #[test] so the process-global
+    // override is never raced by a sibling test.
+    set_thread_override(Some(1));
+    let reference = run(FaultPlan::none(), None, DEFAULT_SEED);
+    let reference_csv = reference.dataset().to_csv();
+    let reference_stats = reference.collection_stats().expect("measured").clone();
+    let total_records = reference.ingest_stats().expect("measured").records;
+    assert!(total_records > 0);
+
+    for threads in [1usize, 2, 8] {
+        set_thread_override(Some(threads));
+        // Chunk size 1 (worst case), a small prime, the default, and one
+        // larger than the whole input (the materialized path).
+        for chunk in [1usize, 251, 8192, total_records as usize + 1] {
+            let out = run(FaultPlan::none(), Some(chunk), DEFAULT_SEED);
+            assert!(
+                out.dataset().to_csv() == reference_csv,
+                "chunked dataset differs at {threads} threads, chunk {chunk}"
+            );
+            let stats = out.collection_stats().expect("measured");
+            assert_eq!(
+                stats.sessions, reference_stats.sessions,
+                "session count differs at {threads} threads, chunk {chunk}"
+            );
+            assert_eq!(stats.gn_records, reference_stats.gn_records);
+            assert_eq!(stats.s5s8_records, reference_stats.s5s8_records);
+            let ingest = out.ingest_stats().expect("measured");
+            assert_eq!(ingest.chunk_size, chunk);
+            assert_eq!(ingest.records, total_records);
+            assert!(
+                ingest.peak_resident_records <= ingest.resident_budget(),
+                "peak {} exceeds budget {} at {threads} threads, chunk {chunk}",
+                ingest.peak_resident_records,
+                ingest.resident_budget()
+            );
+        }
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn degraded_streaming_matches_degraded_materialized() {
+    set_thread_override(Some(1));
+    let reference = run(FaultPlan::degraded(3), None, DEFAULT_SEED);
+    let reference_csv = reference.dataset().to_csv();
+    let reference_faults = reference.collection_stats().expect("measured").faults;
+    assert!(reference_faults.any(), "degraded plan must register fault events");
+
+    for threads in [1usize, 2, 8] {
+        set_thread_override(Some(threads));
+        for chunk in [1usize, 97] {
+            let out = run(FaultPlan::degraded(3), Some(chunk), DEFAULT_SEED);
+            assert!(
+                out.dataset().to_csv() == reference_csv,
+                "degraded chunked dataset differs at {threads} threads, chunk {chunk}"
+            );
+            let faults = &out.collection_stats().expect("measured").faults;
+            assert_eq!(
+                faults, &reference_faults,
+                "fault accounting differs at {threads} threads, chunk {chunk}"
+            );
+            let ingest = out.ingest_stats().expect("measured");
+            assert!(ingest.peak_resident_records <= ingest.resident_budget());
+        }
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn ingest_obs_counters_agree_with_reported_stats() {
+    mobilenet::obs::reset();
+    let out = Pipeline::builder()
+        .scale(Scale::Small)
+        .seed(7)
+        .chunk_size(64)
+        .obs(true)
+        .run()
+        .unwrap();
+    let ingest = *out.ingest_stats().expect("measured run has ingest stats");
+    let snapshot = out.obs_snapshot();
+    assert_eq!(snapshot.counter("netsim.ingest.chunks"), Some(ingest.chunks));
+    assert_eq!(snapshot.counter("netsim.ingest.records"), Some(ingest.records));
+    assert_eq!(
+        snapshot.counter("netsim.ingest.bytes_read"),
+        Some(ingest.bytes_read)
+    );
+    assert_eq!(ingest.chunk_size, 64);
+    assert!(ingest.workers >= 1);
+    assert!(ingest.peak_resident_records <= ingest.resident_budget());
+    mobilenet::obs::set_enabled(Some(false));
+    mobilenet::obs::reset();
+}

@@ -7,7 +7,10 @@ use mobilenet::core::ranking::service_ranking;
 use mobilenet::core::spatial::spatial_correlation;
 use mobilenet::core::study::Study;
 use mobilenet::geo::{Country, CountryConfig};
-use mobilenet::netsim::{collect, observe_sessions, replay, trace_from_csv, trace_to_csv, NetsimConfig};
+use mobilenet::netsim::{
+    collect_with_options, observe_with_options, replay, trace_from_csv, trace_to_csv,
+    CollectOptions, NetsimConfig,
+};
 use mobilenet::traffic::{DemandModel, Direction, ServiceCatalog, TrafficConfig, TrafficDataset};
 use mobilenet::{Pipeline, Scale};
 
@@ -50,13 +53,17 @@ fn probe_trace_capture_and_replay_match_the_pipeline() {
     let model = DemandModel::new(country, catalog, TrafficConfig::fast(), 21);
     let netsim = NetsimConfig::standard();
 
-    let direct = collect(&model, &netsim, 9);
+    let direct = collect_with_options(&model, &netsim, &CollectOptions::default(), 9)
+        .expect("standard config is valid");
 
     let mut records = Vec::new();
-    let n = observe_sessions(&model, &netsim, 9, |r| records.push(r.clone()))
+    let capture =
+        observe_with_options(&model, &netsim, &CollectOptions::default(), 9, |r| {
+            records.push(r.clone())
+        })
         .expect("standard config is valid");
-    assert_eq!(n as usize, records.len());
-    assert_eq!(n, direct.stats.sessions);
+    assert_eq!(capture.emitted as usize, records.len());
+    assert_eq!(capture.sessions, direct.stats.sessions);
 
     // Round-trip the trace through its CSV form before replaying.
     let parsed = trace_from_csv(&trace_to_csv(&records)).expect("trace parses");
