@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! bench_baseline [--scale small|medium|france] [--seed N] [--out FILE]
-//!                [--threads N]
+//!                [--threads N] [--compare FILE]
 //! ```
+//!
+//! `--compare FILE` reads a previously committed baseline and exits
+//! non-zero if any stage's serial time regressed by more than 25%
+//! relative *and* 50 ms absolute (the absolute floor keeps
+//! microsecond-scale stages from flaking the gate). CI runs this against
+//! the committed per-PR baseline.
 //!
 //! Every stage is the same computation the `figures` binary runs; the
 //! parallel pass must produce bit-identical results (asserted here via
@@ -37,6 +43,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     threads: usize,
+    compare: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +52,7 @@ fn parse_args() -> Args {
         seed: mobilenet_bench::SEED,
         out: PathBuf::from("BENCH_baseline.json"),
         threads: mobilenet_par::current_threads(),
+        compare: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,6 +72,10 @@ fn parse_args() -> Args {
                     .expect("--seed must be an integer")
             }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--compare" => {
+                args.compare =
+                    Some(PathBuf::from(it.next().expect("--compare needs a value")))
+            }
             "--threads" => {
                 args.threads = it
                     .next()
@@ -268,4 +280,43 @@ fn main() {
     fs::write(&args.out, &json)
         .unwrap_or_else(|e| panic!("writing {}: {e}", args.out.display()));
     println!("baseline written to {}", args.out.display());
+
+    if let Some(path) = &args.compare {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let baseline = mobilenet_bench::parse_stage_baselines(&text)
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        let current: Vec<(String, f64)> = STAGES
+            .iter()
+            .zip(serial_s.iter())
+            .map(|(name, s)| (name.to_string(), *s))
+            .collect();
+        println!("-- comparing serial timings against {}", path.display());
+        for base in &baseline {
+            let Some((_, cur)) = current.iter().find(|(n, _)| *n == base.stage) else {
+                println!("   {:<12} (not measured this run)", base.stage);
+                continue;
+            };
+            let ratio = if base.serial_s > 0.0 { cur / base.serial_s } else { 0.0 };
+            println!(
+                "   {:<12} {:>8.4}s -> {:>8.4}s  ({:.2}x baseline)",
+                base.stage, base.serial_s, cur, ratio
+            );
+        }
+        let regressions = mobilenet_bench::compare_stages(&baseline, &current);
+        if regressions.is_empty() {
+            println!("-- no stage regressed beyond the gate (>25% and >50ms)");
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "REGRESSION: {} went {:.4}s -> {:.4}s ({:+.0}%)",
+                    r.stage,
+                    r.baseline_s,
+                    r.current_s,
+                    100.0 * (r.current_s - r.baseline_s) / r.baseline_s
+                );
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -43,6 +43,119 @@ pub fn medium_study() -> &'static Study {
     })
 }
 
+/// Per-stage timings read back from a `BENCH_*.json` baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageBaseline {
+    /// Stage span name, e.g. `"kshape_sweep"`.
+    pub stage: String,
+    /// Single-thread wall-clock seconds.
+    pub serial_s: f64,
+    /// Multi-thread wall-clock seconds.
+    pub parallel_s: f64,
+}
+
+/// A per-stage regression found by [`compare_stages`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Stage that regressed.
+    pub stage: String,
+    /// Baseline serial seconds.
+    pub baseline_s: f64,
+    /// Current serial seconds.
+    pub current_s: f64,
+}
+
+/// Relative slowdown (fraction of baseline) above which a stage counts as
+/// regressed. 25% rides comfortably above shared-runner timing noise for
+/// stages long enough to clear [`COMPARE_MIN_DELTA_S`].
+pub const COMPARE_MAX_RELATIVE_SLOWDOWN: f64 = 0.25;
+
+/// Absolute slowdown floor: stages that regress by less than this many
+/// seconds never fail the gate, so microsecond-scale stages (where 25%
+/// is pure jitter) cannot flake the build.
+pub const COMPARE_MIN_DELTA_S: f64 = 0.05;
+
+/// Extracts the first string value of `key` inside `obj`.
+fn json_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let rest = &rest[rest.find(':')? + 1..];
+    let rest = &rest[rest.find('"')? + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the first numeric value of `key` inside `obj`.
+fn json_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let rest = rest[rest.find(':')? + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `"stages"` array out of a `BENCH_*.json` file written by
+/// `bench_baseline`. Hand-rolled (the workspace has no serde): the writer
+/// emits one `{ ... }` object per line inside the array, and this reader
+/// accepts any formatting where stage objects don't nest.
+pub fn parse_stage_baselines(json: &str) -> Result<Vec<StageBaseline>, String> {
+    let start = json.find("\"stages\"").ok_or("no \"stages\" key in baseline file")?;
+    let rest = &json[start..];
+    let open = rest.find('[').ok_or("no stages array")?;
+    let close = rest[open..].find(']').ok_or("unterminated stages array")? + open;
+    let body = &rest[open + 1..close];
+
+    let mut stages = Vec::new();
+    let mut cursor = body;
+    while let Some(obj_start) = cursor.find('{') {
+        let obj_end = cursor[obj_start..]
+            .find('}')
+            .ok_or("unterminated stage object")?
+            + obj_start;
+        let obj = &cursor[obj_start..=obj_end];
+        stages.push(StageBaseline {
+            stage: json_str(obj, "stage").ok_or("stage object missing \"stage\"")?,
+            serial_s: json_num(obj, "serial_s").ok_or("stage object missing \"serial_s\"")?,
+            parallel_s: json_num(obj, "parallel_s")
+                .ok_or("stage object missing \"parallel_s\"")?,
+        });
+        cursor = &cursor[obj_end + 1..];
+    }
+    if stages.is_empty() {
+        return Err("stages array is empty".into());
+    }
+    Ok(stages)
+}
+
+/// Compares current per-stage serial timings against a baseline and
+/// returns the stages that regressed: slower by more than
+/// [`COMPARE_MAX_RELATIVE_SLOWDOWN`] relative AND [`COMPARE_MIN_DELTA_S`]
+/// absolute. Stages present on only one side are ignored (renames and new
+/// stages don't fail the gate; the baseline should be refreshed instead).
+pub fn compare_stages(
+    baseline: &[StageBaseline],
+    current: &[(String, f64)],
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let Some((_, cur)) = current.iter().find(|(name, _)| *name == base.stage) else {
+            continue;
+        };
+        let delta = cur - base.serial_s;
+        if delta > COMPARE_MIN_DELTA_S
+            && delta > COMPARE_MAX_RELATIVE_SLOWDOWN * base.serial_s
+        {
+            regressions.push(Regression {
+                stage: base.stage.clone(),
+                baseline_s: base.serial_s,
+                current_s: *cur,
+            });
+        }
+    }
+    regressions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +165,58 @@ mod tests {
         let a = small_study() as *const Study;
         let b = small_study() as *const Study;
         assert_eq!(a, b);
+    }
+
+    const SAMPLE: &str = r#"{
+  "schema": "mobilenet-bench-baseline/v1",
+  "stages": [
+    { "stage": "generation", "serial_s": 0.3095, "parallel_s": 0.1536, "speedup": 2.01 },
+    { "stage": "kshape_sweep", "serial_s": 2.1086, "parallel_s": 2.1826, "speedup": 0.97 },
+    { "stage": "peaks", "serial_s": 0.0001, "parallel_s": 0.0005, "speedup": 0.24 }
+  ],
+  "total_serial_s": 3.7938
+}"#;
+
+    #[test]
+    fn parses_stage_array() {
+        let stages = parse_stage_baselines(SAMPLE).unwrap();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].stage, "generation");
+        assert_eq!(stages[0].serial_s, 0.3095);
+        assert_eq!(stages[1].stage, "kshape_sweep");
+        assert_eq!(stages[1].parallel_s, 2.1826);
+    }
+
+    #[test]
+    fn rejects_files_without_stages() {
+        assert!(parse_stage_baselines("{}").is_err());
+        assert!(parse_stage_baselines("{\"stages\": []}").is_err());
+    }
+
+    #[test]
+    fn flags_only_real_regressions() {
+        let baseline = parse_stage_baselines(SAMPLE).unwrap();
+        let current = vec![
+            // 50% slower and > 50 ms: regression.
+            ("generation".to_string(), 0.47),
+            // Faster: fine.
+            ("kshape_sweep".to_string(), 0.40),
+            // 400% slower but sub-millisecond: ignored (absolute floor).
+            ("peaks".to_string(), 0.0005),
+        ];
+        let regs = compare_stages(&baseline, &current);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].stage, "generation");
+    }
+
+    #[test]
+    fn within_tolerance_is_clean() {
+        let baseline = parse_stage_baselines(SAMPLE).unwrap();
+        let current = vec![
+            ("generation".to_string(), 0.33),
+            ("kshape_sweep".to_string(), 2.2),
+            ("missing_stage_is_ignored".to_string(), 99.0),
+        ];
+        assert!(compare_stages(&baseline, &current).is_empty());
     }
 }

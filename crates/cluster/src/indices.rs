@@ -7,26 +7,81 @@
 //! All four are implemented parametrically in the distance function so the
 //! same code ranks SBD-based (k-shape) and Euclidean (k-means)
 //! clusterings.
+//!
+//! Each index also has a `_from` variant consuming **precomputed distance
+//! tables** instead of a distance closure. The closure forms are thin
+//! wrappers that materialize the tables and delegate, so the two forms are
+//! bit-identical; the `_from` forms exist so batched callers (the Fig-5
+//! sweep) can fill the tables once from cached spectra and score many
+//! clusterings without recomputing a single distance. Because a distance
+//! need not be symmetric at the bit level (SBD's FFT evaluates
+//! `d(x, y)` and `d(y, x)` in different orders), the tables are **ordered**:
+//! entry `[i][j]` must hold the distance as evaluated with `i` as the first
+//! argument, which is the orientation the original loops used.
 
 use crate::Clustering;
 
-/// Average distance of each cluster's members to its centroid.
-fn scatter<D: Fn(&[f64], &[f64]) -> f64>(
-    series: &[Vec<f64>],
-    clustering: &Clustering,
-    dist: &D,
-) -> Vec<f64> {
+/// Average distance of each cluster's members to its centroid, from the
+/// per-series distance-to-own-centroid table.
+fn scatter_from(own_dist: &[f64], clustering: &Clustering) -> Vec<f64> {
     let k = clustering.k();
     let mut sums = vec![0.0; k];
     let mut counts = vec![0usize; k];
-    for (s, &a) in series.iter().zip(clustering.assignments.iter()) {
-        sums[a] += dist(s, &clustering.centroids[a]);
+    for (&d, &a) in own_dist.iter().zip(clustering.assignments.iter()) {
+        sums[a] += d;
         counts[a] += 1;
     }
     sums.iter()
         .zip(counts.iter())
         .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
         .collect()
+}
+
+/// `own_dist[i] = dist(series[i], centroid_of(i))`.
+fn own_distances<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    clustering: &Clustering,
+    dist: &D,
+) -> Vec<f64> {
+    series
+        .iter()
+        .zip(clustering.assignments.iter())
+        .map(|(s, &a)| dist(s, &clustering.centroids[a]))
+        .collect()
+}
+
+/// Ordered `k × k` centroid-centroid table; the (never-read) diagonal is 0.
+fn centroid_distances<D: Fn(&[f64], &[f64]) -> f64>(
+    clustering: &Clustering,
+    dist: &D,
+) -> Vec<Vec<f64>> {
+    let k = clustering.k();
+    let mut t = vec![vec![0.0; k]; k];
+    for (i, row) in t.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = dist(&clustering.centroids[i], &clustering.centroids[j]);
+            }
+        }
+    }
+    t
+}
+
+/// Ordered `n × n` series-series table; the (never-read) diagonal is 0.
+fn pairwise_distances<D: Fn(&[f64], &[f64]) -> f64>(
+    series: &[Vec<f64>],
+    dist: &D,
+) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut t = vec![vec![0.0; n]; n];
+    for (i, row) in t.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = dist(&series[i], &series[j]);
+            }
+        }
+    }
+    t
 }
 
 /// Davies-Bouldin index (lower is better):
@@ -39,9 +94,26 @@ pub fn davies_bouldin<D: Fn(&[f64], &[f64]) -> f64>(
     clustering: &Clustering,
     dist: D,
 ) -> f64 {
+    davies_bouldin_from(
+        &own_distances(series, clustering, &dist),
+        &centroid_distances(clustering, &dist),
+        clustering,
+    )
+}
+
+/// [`davies_bouldin`] from tables: `own_dist[i]` is each series' distance
+/// to its own centroid, `centroid_dist[i][j]` the ordered centroid pair
+/// distance.
+pub fn davies_bouldin_from(
+    own_dist: &[f64],
+    centroid_dist: &[Vec<f64>],
+    clustering: &Clustering,
+) -> f64 {
     let k = clustering.k();
     assert!(k >= 2, "Davies-Bouldin requires k >= 2");
-    let s = scatter(series, clustering, &dist);
+    assert_eq!(own_dist.len(), clustering.assignments.len());
+    assert_eq!(centroid_dist.len(), k);
+    let s = scatter_from(own_dist, clustering);
     let mut total = 0.0;
     for i in 0..k {
         let mut worst = 0.0f64;
@@ -49,7 +121,7 @@ pub fn davies_bouldin<D: Fn(&[f64], &[f64]) -> f64>(
             if i == j {
                 continue;
             }
-            let sep = dist(&clustering.centroids[i], &clustering.centroids[j]);
+            let sep = centroid_dist[i][j];
             let r = if sep > 0.0 { (s[i] + s[j]) / sep } else { f64::INFINITY };
             worst = worst.max(r);
         }
@@ -66,9 +138,25 @@ pub fn davies_bouldin_star<D: Fn(&[f64], &[f64]) -> f64>(
     clustering: &Clustering,
     dist: D,
 ) -> f64 {
+    davies_bouldin_star_from(
+        &own_distances(series, clustering, &dist),
+        &centroid_distances(clustering, &dist),
+        clustering,
+    )
+}
+
+/// [`davies_bouldin_star`] from the same tables as
+/// [`davies_bouldin_from`].
+pub fn davies_bouldin_star_from(
+    own_dist: &[f64],
+    centroid_dist: &[Vec<f64>],
+    clustering: &Clustering,
+) -> f64 {
     let k = clustering.k();
     assert!(k >= 2, "DB* requires k >= 2");
-    let s = scatter(series, clustering, &dist);
+    assert_eq!(own_dist.len(), clustering.assignments.len());
+    assert_eq!(centroid_dist.len(), k);
+    let s = scatter_from(own_dist, clustering);
     let mut total = 0.0;
     for i in 0..k {
         let mut max_cohesion = 0.0f64;
@@ -78,7 +166,7 @@ pub fn davies_bouldin_star<D: Fn(&[f64], &[f64]) -> f64>(
                 continue;
             }
             max_cohesion = max_cohesion.max(s[i] + s[j]);
-            min_sep = min_sep.min(dist(&clustering.centroids[i], &clustering.centroids[j]));
+            min_sep = min_sep.min(centroid_dist[i][j]);
         }
         total += if min_sep > 0.0 { max_cohesion / min_sep } else { f64::INFINITY };
     }
@@ -92,14 +180,20 @@ pub fn dunn<D: Fn(&[f64], &[f64]) -> f64>(
     clustering: &Clustering,
     dist: D,
 ) -> f64 {
+    dunn_from(&pairwise_distances(series, &dist), clustering)
+}
+
+/// [`dunn`] from the ordered series-series table (only the `i < j`
+/// triangle is read).
+pub fn dunn_from(pair_dist: &[Vec<f64>], clustering: &Clustering) -> f64 {
     let k = clustering.k();
     assert!(k >= 2, "Dunn requires k >= 2");
-    let n = series.len();
+    let n = clustering.assignments.len();
+    assert_eq!(pair_dist.len(), n);
     let mut min_between = f64::INFINITY;
     let mut max_within = 0.0f64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dist(&series[i], &series[j]);
+    for (i, row) in pair_dist.iter().enumerate() {
+        for (j, &d) in row.iter().enumerate().skip(i + 1) {
             if clustering.assignments[i] == clustering.assignments[j] {
                 max_within = max_within.max(d);
             } else {
@@ -123,22 +217,30 @@ pub fn silhouette<D: Fn(&[f64], &[f64]) -> f64>(
     clustering: &Clustering,
     dist: D,
 ) -> f64 {
+    silhouette_from(&pairwise_distances(series, &dist), clustering)
+}
+
+/// [`silhouette`] from the ordered series-series table (row `i` supplies
+/// all distances with `i` as the first argument, matching the original
+/// evaluation orientation).
+pub fn silhouette_from(pair_dist: &[Vec<f64>], clustering: &Clustering) -> f64 {
     let k = clustering.k();
     assert!(k >= 2, "Silhouette requires k >= 2");
-    let n = series.len();
+    let n = clustering.assignments.len();
+    assert_eq!(pair_dist.len(), n);
     let sizes = clustering.sizes();
     let mut total = 0.0;
-    for i in 0..n {
+    for (i, row) in pair_dist.iter().enumerate() {
         let own = clustering.assignments[i];
         if sizes[own] <= 1 {
             continue; // contributes 0
         }
         let mut sums = vec![0.0; k];
-        for j in 0..n {
+        for (j, &d) in row.iter().enumerate() {
             if i == j {
                 continue;
             }
-            sums[clustering.assignments[j]] += dist(&series[i], &series[j]);
+            sums[clustering.assignments[j]] += d;
         }
         let a = sums[own] / (sizes[own] - 1) as f64;
         let b = (0..k)
@@ -263,6 +365,39 @@ mod tests {
         assert_eq!(dunn(&series, &clustering, euclid), f64::INFINITY);
         // Silhouette of all-singletons is 0 by convention.
         assert_eq!(silhouette(&series, &clustering, euclid), 0.0);
+    }
+
+    #[test]
+    fn table_forms_match_closure_forms_bitwise() {
+        use mobilenet_timeseries::sbd::shape_based_distance;
+        // SBD is the asymmetric-at-the-bit distance the ordered-table
+        // contract exists for; check all four indices on a k-shape-style
+        // input against hand-built ordered tables.
+        let series: Vec<Vec<f64>> = (0..7)
+            .map(|s| (0..24).map(|t| ((t + s * 3) as f64 * 0.37).sin() + s as f64 * 0.05).collect())
+            .collect();
+        let clustering = Clustering {
+            assignments: vec![0, 0, 1, 1, 2, 2, 0],
+            centroids: vec![series[0].clone(), series[2].clone(), series[4].clone()],
+            iterations: 1,
+            converged: true,
+        };
+        let dist = |a: &[f64], b: &[f64]| shape_based_distance(a, b);
+        let own = own_distances(&series, &clustering, &dist);
+        let cc = centroid_distances(&clustering, &dist);
+        let ss = pairwise_distances(&series, &dist);
+        let pairs = [
+            (davies_bouldin(&series, &clustering, dist), davies_bouldin_from(&own, &cc, &clustering)),
+            (
+                davies_bouldin_star(&series, &clustering, dist),
+                davies_bouldin_star_from(&own, &cc, &clustering),
+            ),
+            (dunn(&series, &clustering, dist), dunn_from(&ss, &clustering)),
+            (silhouette(&series, &clustering, dist), silhouette_from(&ss, &clustering)),
+        ];
+        for (closure, table) in pairs {
+            assert_eq!(closure.to_bits(), table.to_bits());
+        }
     }
 
     #[test]

@@ -11,18 +11,46 @@
 //!   summed squared cross-correlation with all members.
 //!
 //! Inputs are z-normalized internally, as the algorithm requires.
+//!
+//! # Kernel layout
+//!
+//! All distances go through one [`SbdEngine`] sized for the series length:
+//! every series' spectrum is transformed **once** up front, every
+//! centroid's spectrum **once per round**, and each SBD evaluation after
+//! that is a single inverse FFT into reused scratch — zero per-call heap
+//! allocation in the assignment/repair loops. Shape extraction aligns
+//! members into one flat scratch buffer reused across iterations, and
+//! runs power iteration against the *implicit* operator
+//! `Q(Σ yᵢyᵢᵀ)Q · v` (two passes over the aligned members, `O(|members|·m)`
+//! per matvec) when the cluster has fewer members than time points,
+//! falling back to the dense `m × m` scatter matrix otherwise — see
+//! `DESIGN.md` §3.12 for the numerical contract.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mobilenet_timeseries::norm::z_normalize;
-use mobilenet_timeseries::sbd::{ncc_c, shape_based_distance, shift_series};
+use mobilenet_timeseries::sbd::{SbdEngine, SbdScratch, Spectrum};
 
-use crate::linalg::{dominant_eigenpair, SquareMatrix};
+use crate::linalg::{dominant_eigenpair, dominant_eigenpair_of, SquareMatrix};
 use crate::Clustering;
 
 /// Upper bound on refinement/assignment rounds.
 const MAX_ITER: usize = 100;
+
+/// Which scatter/eigen kernel shape extraction uses. Production always
+/// goes through `Auto`; the forced variants exist so tests can pit the
+/// two kernels against each other on identical inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(test), allow(dead_code))]
+enum ExtractionMode {
+    /// Implicit operator when `|members| < m`, dense otherwise.
+    Auto,
+    /// Always materialize the dense centred scatter matrix.
+    Dense,
+    /// Always apply the implicit operator.
+    Implicit,
+}
 
 /// Runs k-Shape on `series` (equal lengths) with `k` clusters.
 ///
@@ -34,10 +62,20 @@ const MAX_ITER: usize = 100;
 /// Panics if `series` is empty, lengths differ, `k == 0` or
 /// `k > series.len()`.
 pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    kshape_mode(series, k, seed, ExtractionMode::Auto)
+}
+
+fn kshape_mode(series: &[Vec<f64>], k: usize, seed: u64, mode: ExtractionMode) -> Clustering {
     validate(series, k);
     let n = series.len();
     let m = series[0].len();
     let z: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
+
+    // One plan and one spectrum per series for the whole run.
+    let engine = SbdEngine::new(m);
+    let z_specs: Vec<Spectrum> = z.iter().map(|s| engine.spectrum(s)).collect();
+    let mut sbd_scratch = SbdScratch::new();
+    let mut shape_scratch = ShapeScratch::default();
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6b73_6861_7065_3031); // "kshape01"
     // Fully random initial assignment, as in the original algorithm; the
@@ -46,38 +84,47 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     // near-identical and defeat the best-of-restarts search.)
     let mut assignments: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k)).collect();
     let mut centroids: Vec<Vec<f64>> = vec![vec![0.0; m]; k];
+    let mut cent_specs: Vec<Spectrum> = centroids.iter().map(|c| engine.spectrum(c)).collect();
+    let mut members: Vec<usize> = Vec::with_capacity(n);
 
     let mut iterations = 0;
     let mut converged = false;
     for iter in 0..MAX_ITER {
         iterations = iter + 1;
 
-        // Refinement.
-        for (c, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&[f64]> = assignments
-                .iter()
-                .zip(z.iter())
-                .filter(|(&a, _)| a == c)
-                .map(|(_, s)| s.as_slice())
-                .collect();
+        // Refinement. The alignment reference is the previous round's
+        // centroid, whose spectrum is still cached in `cent_specs`.
+        for c in 0..k {
+            members.clear();
+            members.extend((0..n).filter(|&i| assignments[i] == c));
             if members.is_empty() {
                 continue; // handled after assignment
             }
-            *centroid = shape_extraction(&members, centroid);
+            centroids[c] = shape_extraction(
+                &engine,
+                &z,
+                &z_specs,
+                &members,
+                &cent_specs[c],
+                mode,
+                &mut sbd_scratch,
+                &mut shape_scratch,
+            );
+        }
+        // One forward transform per centroid per round, reused across all
+        // n assignment distances below (plus the repair pass).
+        for (cent, spec) in centroids.iter().zip(cent_specs.iter_mut()) {
+            engine.spectrum_into(cent, spec);
         }
 
-        // Assignment.
+        // Assignment. A fresh/empty centroid is all-zero, hence flat, so
+        // the engine yields the neutral distance 1.0 and it can still
+        // attract members on the first round.
         let mut changed = false;
-        for (i, zi) in z.iter().enumerate() {
+        for (i, zi_spec) in z_specs.iter().enumerate() {
             let mut best = (f64::INFINITY, assignments[i]);
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = if centroid.iter().all(|v| *v == 0.0) {
-                    // Fresh/empty centroid: neutral distance so it can
-                    // still attract members on the first round.
-                    1.0
-                } else {
-                    shape_based_distance(zi, centroid)
-                };
+            for (c, spec) in cent_specs.iter().enumerate() {
+                let d = engine.sbd(zi_spec, spec, &mut sbd_scratch);
                 if d < best.0 {
                     best = (d, c);
                 }
@@ -89,7 +136,8 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
         }
 
         // Empty-cluster repair: move the point farthest from its centroid
-        // into each empty cluster (deterministic).
+        // into each empty cluster (deterministic; `total_cmp` so a
+        // NaN-poisoned distance cannot panic the selection).
         let mut sizes = vec![0usize; k];
         for &a in &assignments {
             sizes[a] += 1;
@@ -103,10 +151,10 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
                 .enumerate()
                 .filter(|(_, &a)| sizes[a] > 1)
                 .map(|(i, &a)| {
-                    let d = shape_based_distance(&z[i], &centroids[a]);
+                    let d = engine.sbd(&z_specs[i], &cent_specs[a], &mut sbd_scratch);
                     (i, d)
                 })
-                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("some cluster has more than one member");
             sizes[assignments[worst]] -= 1;
             assignments[worst] = c;
@@ -123,51 +171,123 @@ pub fn kshape(series: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     Clustering { assignments, centroids, iterations, converged }
 }
 
-/// Shape extraction: the new centroid of a set of (z-normalized) members,
-/// given the previous centroid as alignment reference.
-fn shape_extraction(members: &[&[f64]], reference: &[f64]) -> Vec<f64> {
-    let m = reference.len();
-    // Align members to the reference (a zero reference means no alignment).
-    let aligned: Vec<Vec<f64>> = members
-        .iter()
-        .map(|s| {
-            if reference.iter().all(|v| *v == 0.0) {
-                s.to_vec()
-            } else {
-                let a = ncc_c(reference, s);
-                shift_series(s, a.shift)
-            }
-        })
-        .collect();
+/// Buffers reused across shape-extraction calls: the flat aligned-member
+/// matrix and the two temporaries of the implicit operator.
+#[derive(Debug, Default)]
+struct ShapeScratch {
+    aligned: Vec<f64>,
+    t: Vec<f64>,
+    u: Vec<f64>,
+}
 
-    // Scatter matrix S = Σ yᵀy, centred: M = Q S Q with Q = I − 1/m.
-    let mut s_mat = SquareMatrix::zeros(m);
-    for y in &aligned {
-        for i in 0..m {
-            if y[i] == 0.0 {
-                continue;
-            }
-            for j in 0..m {
-                s_mat.add(i, j, y[i] * y[j]);
+/// Shape extraction: the new centroid of a cluster, given the members'
+/// cached spectra and the previous centroid's spectrum as alignment
+/// reference.
+///
+/// A flat reference (the all-zero initial centroid) aligns at shift 0,
+/// i.e. members are taken as-is.
+#[allow(clippy::too_many_arguments)]
+fn shape_extraction(
+    engine: &SbdEngine,
+    z: &[Vec<f64>],
+    z_specs: &[Spectrum],
+    members: &[usize],
+    reference: &Spectrum,
+    mode: ExtractionMode,
+    sbd_scratch: &mut SbdScratch,
+    scratch: &mut ShapeScratch,
+) -> Vec<f64> {
+    let m = engine.series_len();
+    let nm = members.len();
+    scratch.aligned.resize(nm * m, 0.0);
+    for (row, &idx) in members.iter().enumerate() {
+        let a = engine.ncc_c(reference, &z_specs[idx], sbd_scratch);
+        shift_into(&z[idx], a.shift, &mut scratch.aligned[row * m..(row + 1) * m]);
+    }
+    let aligned = &scratch.aligned[..nm * m];
+
+    let implicit = match mode {
+        ExtractionMode::Auto => nm < m,
+        ExtractionMode::Dense => false,
+        ExtractionMode::Implicit => true,
+    };
+    let pair = if implicit {
+        // Power iteration against the implicit operator
+        // `w = Q (Σ yᵢ yᵢᵀ) Q v` with `Q = I − (1/m)·11ᵀ`: centring a
+        // vector is subtracting its mean, and the scatter product is two
+        // passes over the aligned members — `O(|members|·m)` per matvec
+        // instead of `O(m²)`, with no `m × m` matrix materialized.
+        let mf = m as f64;
+        scratch.t.resize(m, 0.0);
+        scratch.u.resize(m, 0.0);
+        let (t, u) = (&mut scratch.t, &mut scratch.u);
+        dominant_eigenpair_of(
+            m,
+            |v, w| {
+                let mean = v.iter().sum::<f64>() / mf;
+                for (ti, vi) in t.iter_mut().zip(v.iter()) {
+                    *ti = vi - mean;
+                }
+                u.iter_mut().for_each(|x| *x = 0.0);
+                for row in 0..nm {
+                    let y = &aligned[row * m..(row + 1) * m];
+                    let a: f64 = y.iter().zip(t.iter()).map(|(yi, ti)| yi * ti).sum();
+                    if a != 0.0 {
+                        for (uj, yj) in u.iter_mut().zip(y.iter()) {
+                            *uj += yj * a;
+                        }
+                    }
+                }
+                let mean_u = u.iter().sum::<f64>() / mf;
+                for (wi, ui) in w.iter_mut().zip(u.iter()) {
+                    *wi = ui - mean_u;
+                }
+            },
+            300,
+            1e-10,
+        )
+    } else {
+        // Scatter matrix S = Σ yᵀy, centred: M = Q S Q.
+        let mut s_mat = SquareMatrix::zeros(m);
+        for row in 0..nm {
+            let y = &aligned[row * m..(row + 1) * m];
+            for i in 0..m {
+                if y[i] == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    s_mat.add(i, j, y[i] * y[j]);
+                }
             }
         }
-    }
-    let centred = center_both_sides(&s_mat);
+        let centred = center_both_sides(&s_mat);
+        dominant_eigenpair(&centred, 300, 1e-10)
+    };
 
-    match dominant_eigenpair(&centred, 300, 1e-10) {
+    match pair {
         None => vec![0.0; m],
         Some(pair) => {
             let mut v = pair.vector;
             // Eigenvector sign is arbitrary: pick the orientation closer to
             // the first member.
-            let d_pos = sq_dist(&aligned[0], &v);
+            let first = &aligned[..m];
+            let d_pos = sq_dist(first, &v);
             let neg: Vec<f64> = v.iter().map(|x| -x).collect();
-            let d_neg = sq_dist(&aligned[0], &neg);
+            let d_neg = sq_dist(first, &neg);
             if d_neg < d_pos {
                 v = neg;
             }
             z_normalize(&v)
         }
+    }
+}
+
+/// [`mobilenet_timeseries::sbd::shift_series`] into a caller-owned slice.
+fn shift_into(y: &[f64], shift: isize, out: &mut [f64]) {
+    let n = y.len();
+    for (i, o) in out.iter_mut().enumerate() {
+        let src = i as isize - shift;
+        *o = if src >= 0 && (src as usize) < n { y[src as usize] } else { 0.0 };
     }
 }
 
@@ -218,6 +338,7 @@ fn validate(series: &[Vec<f64>], k: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mobilenet_timeseries::sbd::shift_series;
 
     /// Three distinct shapes with shifts and noise.
     fn labelled_shapes(per_class: usize, m: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
@@ -348,6 +469,40 @@ mod tests {
         let c = kshape(&series, 3, 0);
         assert!(c.converged, "did not converge in {} iterations", c.iterations);
         assert!(c.iterations < MAX_ITER);
+    }
+
+    #[test]
+    fn dense_and_implicit_extraction_agree() {
+        // Both kernels compute the dominant eigenvector of the same
+        // operator; they differ only in floating-point summation order, so
+        // the extracted shapes must agree to numerical tolerance and the
+        // full runs must produce the same partition.
+        let (series, _) = labelled_shapes(5, 24); // 15 members > m in k=1 runs? no: per cluster ≤ 15 < 24
+        for seed in 0..3 {
+            let dense = kshape_mode(&series, 3, seed, ExtractionMode::Dense);
+            let imp = kshape_mode(&series, 3, seed, ExtractionMode::Implicit);
+            assert_eq!(dense.assignments, imp.assignments, "seed {seed}");
+            assert_eq!(dense.iterations, imp.iterations, "seed {seed}");
+            for (cd, ci) in dense.centroids.iter().zip(imp.centroids.iter()) {
+                for (a, b) in cd.iter().zip(ci.iter()) {
+                    assert!((a - b).abs() < 1e-6, "centroid drift {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_bearing_series_does_not_panic() {
+        // A poisoned series must not panic the farthest-point selection in
+        // empty-cluster repair (total_cmp convention from PR 3) nor the
+        // assignment loop; the run still terminates with a full partition.
+        let (mut series, _) = labelled_shapes(4, 40);
+        series[3][7] = f64::NAN;
+        for k in [2, 4, 6] {
+            let c = kshape(&series, k, 11);
+            assert_eq!(c.assignments.len(), series.len());
+            assert!(c.assignments.iter().all(|&a| a < k));
+        }
     }
 
     #[test]

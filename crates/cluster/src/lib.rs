@@ -30,7 +30,10 @@ pub mod kshape;
 pub mod linalg;
 
 pub use hierarchy::{agglomerate, Dendrogram, Linkage};
-pub use indices::{davies_bouldin, davies_bouldin_star, dunn, silhouette};
+pub use indices::{
+    davies_bouldin, davies_bouldin_from, davies_bouldin_star, davies_bouldin_star_from, dunn,
+    dunn_from, silhouette, silhouette_from,
+};
 #[doc(inline)]
 pub use kmeans::kmeans;
 #[doc(inline)]

@@ -7,10 +7,11 @@
 //! unique temporal dynamics. This module reproduces the full sweep.
 
 use mobilenet_cluster::{
-    davies_bouldin, davies_bouldin_star, dunn, kmeans, kshape, silhouette, Clustering,
+    davies_bouldin_from, davies_bouldin_star_from, dunn_from, kmeans, kshape, silhouette_from,
+    Clustering,
 };
 use mobilenet_timeseries::norm::z_normalize;
-use mobilenet_timeseries::sbd::shape_based_distance;
+use mobilenet_timeseries::sbd::{SbdEngine, SbdScratch, Spectrum};
 use mobilenet_traffic::Direction;
 
 use crate::study::Study;
@@ -118,7 +119,24 @@ pub fn clustering_sweep(
     sweep_series(&series, dir, algorithm, restarts)
 }
 
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
 /// The sweep over explicit series (also used by ablations and tests).
+///
+/// Parallelism is at the `(k, restart)` granularity: every restart of
+/// every `k` is an independent job (its seed is the restart index, not a
+/// shared stream), so `mobilenet-par` can fan all of them out and the
+/// ordered result vector is reduced per `k` deterministically — the
+/// earliest restart wins inertia ties, exactly as the old serial loop
+/// did. Index scores are computed from distance tables filled once per
+/// sweep (series-series) and once per `k` (centroid tables) through one
+/// plan-cached [`SbdEngine`], so no distance is evaluated twice.
 pub fn sweep_series(
     series: &[Vec<f64>],
     dir: Direction,
@@ -127,62 +145,132 @@ pub fn sweep_series(
 ) -> ClusteringSweep {
     assert!(series.len() >= 3, "need at least 3 series to sweep k in 2..n");
     let z: Vec<Vec<f64>> = series.iter().map(|s| z_normalize(s)).collect();
-    let sbd = |a: &[f64], b: &[f64]| shape_based_distance(a, b);
-    let euclid = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            .sqrt()
-    };
+    let n = z.len();
+    let m = z[0].len();
 
-    // Every k of the sweep is independent (restarts are seeded by restart
-    // index, not by a shared stream), so the k axis parallelizes with no
-    // effect on the output.
     let _sweep_span = mobilenet_obs::span("kshape_sweep");
-    let ks: Vec<usize> = (2..series.len()).collect();
+    let ks: Vec<usize> = (2..n).collect();
     mobilenet_obs::add("core.kshape_ks", ks.len() as u64);
-    let points = mobilenet_par::par_map(&ks, |&k| {
+
+    // One engine and one spectrum per series for the whole sweep; shared
+    // read-only across restart workers.
+    let engine = SbdEngine::new(m);
+    let z_specs: Vec<Spectrum> = z.iter().map(|s| engine.spectrum(s)).collect();
+
+    let r = restarts.max(1) as usize;
+    let jobs: Vec<(usize, u64)> = ks
+        .iter()
+        .flat_map(|&k| (0..r as u64).map(move |restart| (k, restart)))
+        .collect();
+    let runs = mobilenet_par::par_map(&jobs, |&(k, restart)| {
         // Worker threads have a fresh span stack, so this records at the
-        // root; its count equals the number of swept ks at any thread
-        // count, but the durations are per-worker wall clock.
-        let _k_span = mobilenet_obs::span("kshape_k");
-        let mut best: Option<(f64, Clustering)> = None;
-        for restart in 0..restarts.max(1) {
-            let clustering = match algorithm {
-                Algorithm::KShape => kshape(&z, k, restart),
-                Algorithm::KMeans => kmeans(&z, k, restart),
-            };
-            let inertia: f64 = z
+        // root; its count equals ks × restarts at any thread count, but
+        // the durations are per-worker wall clock.
+        let _restart_span = mobilenet_obs::span("kshape_restart");
+        let clustering = match algorithm {
+            Algorithm::KShape => kshape(&z, k, restart),
+            Algorithm::KMeans => kmeans(&z, k, restart),
+        };
+        let inertia = match algorithm {
+            Algorithm::KShape => {
+                // Within-cluster SBD inertia via the shared spectra: k
+                // forward transforms for the centroids, then one inverse
+                // per series.
+                let mut scratch = SbdScratch::new();
+                let cent_specs: Vec<Spectrum> =
+                    clustering.centroids.iter().map(|c| engine.spectrum(c)).collect();
+                let mut sum = 0.0;
+                for (spec, &a) in z_specs.iter().zip(clustering.assignments.iter()) {
+                    sum += engine.sbd(spec, &cent_specs[a], &mut scratch);
+                }
+                sum
+            }
+            Algorithm::KMeans => z
                 .iter()
                 .zip(clustering.assignments.iter())
-                .map(|(s, &a)| match algorithm {
-                    Algorithm::KShape => sbd(s, &clustering.centroids[a]),
-                    Algorithm::KMeans => euclid(s, &clustering.centroids[a]),
-                })
-                .sum();
-            match &best {
-                Some((b, _)) if *b <= inertia => {}
-                _ => best = Some((inertia, clustering)),
+                .map(|(s, &a)| euclid(s, &clustering.centroids[a]))
+                .sum(),
+        };
+        (inertia, clustering)
+    });
+
+    // Series-series distances are clustering-independent: fill the ordered
+    // table once and score every k from it.
+    let mut scratch = SbdScratch::new();
+    let mut pair_dist = vec![vec![0.0; n]; n];
+    for (i, row) in pair_dist.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            if i != j {
+                *v = match algorithm {
+                    Algorithm::KShape => engine.sbd(&z_specs[i], &z_specs[j], &mut scratch),
+                    Algorithm::KMeans => euclid(&z[i], &z[j]),
+                };
             }
         }
-        let clustering = best.expect("at least one restart ran").1;
-        let scores = match algorithm {
-            Algorithm::KShape => IndexScores {
-                davies_bouldin: davies_bouldin(&z, &clustering, sbd),
-                davies_bouldin_star: davies_bouldin_star(&z, &clustering, sbd),
-                dunn: dunn(&z, &clustering, sbd),
-                silhouette: silhouette(&z, &clustering, sbd),
-            },
-            Algorithm::KMeans => IndexScores {
-                davies_bouldin: davies_bouldin(&z, &clustering, euclid),
-                davies_bouldin_star: davies_bouldin_star(&z, &clustering, euclid),
-                dunn: dunn(&z, &clustering, euclid),
-                silhouette: silhouette(&z, &clustering, euclid),
-            },
+    }
+
+    // Deterministic ordered reduction: jobs (and thus `runs`) are in
+    // (k, restart) order, so folding each k's slice in sequence replays
+    // the old serial keep-unless-strictly-better rule bit for bit.
+    let mut runs = runs.into_iter();
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in &ks {
+        let mut best = runs.next().expect("one run per (k, restart)");
+        for _ in 1..r {
+            let cand = runs.next().expect("one run per (k, restart)");
+            // NOT equivalent to `best.0 > cand.0`: a NaN inertia in
+            // `best` must be displaced by any candidate, exactly as the
+            // historical serial fold behaved.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(best.0 <= cand.0) {
+                best = cand;
+            }
+        }
+        let clustering = best.1;
+
+        let k_clusters = clustering.k();
+        let mut own_dist = vec![0.0; n];
+        let mut centroid_dist = vec![vec![0.0; k_clusters]; k_clusters];
+        match algorithm {
+            Algorithm::KShape => {
+                let cent_specs: Vec<Spectrum> =
+                    clustering.centroids.iter().map(|c| engine.spectrum(c)).collect();
+                for (i, d) in own_dist.iter_mut().enumerate() {
+                    *d = engine.sbd(
+                        &z_specs[i],
+                        &cent_specs[clustering.assignments[i]],
+                        &mut scratch,
+                    );
+                }
+                for (i, row) in centroid_dist.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if i != j {
+                            *v = engine.sbd(&cent_specs[i], &cent_specs[j], &mut scratch);
+                        }
+                    }
+                }
+            }
+            Algorithm::KMeans => {
+                for (i, d) in own_dist.iter_mut().enumerate() {
+                    *d = euclid(&z[i], &clustering.centroids[clustering.assignments[i]]);
+                }
+                for (i, row) in centroid_dist.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        if i != j {
+                            *v = euclid(&clustering.centroids[i], &clustering.centroids[j]);
+                        }
+                    }
+                }
+            }
+        }
+        let scores = IndexScores {
+            davies_bouldin: davies_bouldin_from(&own_dist, &centroid_dist, &clustering),
+            davies_bouldin_star: davies_bouldin_star_from(&own_dist, &centroid_dist, &clustering),
+            dunn: dunn_from(&pair_dist, &clustering),
+            silhouette: silhouette_from(&pair_dist, &clustering),
         };
-        SweepPoint { k, scores, clustering }
-    });
+        points.push(SweepPoint { k, scores, clustering });
+    }
     ClusteringSweep { direction: dir, algorithm, points }
 }
 

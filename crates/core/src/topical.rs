@@ -12,6 +12,11 @@ use mobilenet_traffic::{Direction, TopicalTime, HOURS_PER_WEEK};
 use crate::peaks::{detect_peaks, PeakConfig, PeakInterval};
 use crate::study::Study;
 
+/// Serial-fallback threshold for the peaks stage: spawn a worker only for
+/// every 32 services, so catalog-sized inputs (≈20) run inline instead of
+/// paying thread spawn cost that dwarfs the per-service work.
+const PEAKS_MIN_ITEMS_PER_WORKER: usize = 32;
+
 /// Tolerance (hours) when snapping a rising front to a topical hour.
 /// Peaks ramp up over adjacent hours, so a front can lead the topical
 /// moment slightly.
@@ -173,11 +178,15 @@ pub fn topical_profiles(
     config: &PeakConfig,
 ) -> Vec<ServiceTopicalProfile> {
     // Profiling is a pure function of each service's own series, so the
-    // ~catalog-sized loop parallelizes service-by-service.
+    // ~catalog-sized loop parallelizes service-by-service — but each item
+    // is only a few window scans over one week of hours, so a worker must
+    // have a meaningful batch to be worth spawning (the catalog's ~20
+    // services were measured running 4× *slower* split across threads
+    // than inline; `BENCH_baseline.json` peaks speedup 0.24×).
     let _span = mobilenet_obs::span("topical_peaks");
     let head = study.catalog().head();
     mobilenet_obs::add("core.topical_services", head.len() as u64);
-    mobilenet_par::par_map_collect(head.len(), |s| {
+    mobilenet_par::par_map_collect_min(head.len(), PEAKS_MIN_ITEMS_PER_WORKER, |s| {
         let series = study.dataset().national_series(dir, s);
         profile_service(series, s, head[s].name, config)
     })

@@ -82,12 +82,13 @@ pub fn current_threads() -> usize {
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     threads: usize,
+    min_items_per_worker: usize,
 }
 
 impl Pool {
     /// A pool with an explicit worker count (minimum 1).
     pub fn new(threads: usize) -> Self {
-        Pool { threads: threads.max(1) }
+        Pool { threads: threads.max(1), min_items_per_worker: 1 }
     }
 
     /// A pool using the ambient configuration (see [`current_threads`]).
@@ -95,9 +96,28 @@ impl Pool {
         Pool::new(current_threads())
     }
 
+    /// Sets the serial-fallback work threshold: a region spawns at most
+    /// `n / min_items` workers, so each worker has at least `min_items`
+    /// items to amortize its spawn cost against — below `2 × min_items`
+    /// total the region runs inline on the caller's thread. The default
+    /// of 1 keeps historical behavior (spawn whenever `n > 1`).
+    ///
+    /// Output is unaffected: worker count never changes results, only
+    /// where they are computed.
+    pub fn with_min_items_per_worker(mut self, min_items: usize) -> Self {
+        self.min_items_per_worker = min_items.max(1);
+        self
+    }
+
     /// This pool's worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The serial-fallback threshold (see
+    /// [`Pool::with_min_items_per_worker`]).
+    pub fn min_items_per_worker(&self) -> usize {
+        self.min_items_per_worker
     }
 
     /// Maps `f` over `0..n` on this pool; results in index order.
@@ -114,7 +134,7 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let workers = self.threads.min(n);
+        let workers = self.threads.min(n).min(n / self.min_items_per_worker);
         let observing = mobilenet_obs::enabled();
         if observing {
             mobilenet_obs::add("par.regions", 1);
@@ -218,6 +238,18 @@ where
     Pool::global().map(items, f)
 }
 
+/// [`Pool::map_collect`] on the ambient pool with a serial-fallback work
+/// threshold: spawns only workers that will each process at least
+/// `min_items` items, running tiny regions inline (see
+/// [`Pool::with_min_items_per_worker`]).
+pub fn par_map_collect_min<R, F>(n: usize, min_items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    Pool::global().with_min_items_per_worker(min_items).map_collect(n, f)
+}
+
 /// [`Pool::map_reduce`] on the ambient pool: ordered fold of mapped
 /// partials, strictly left-to-right in submission order.
 pub fn par_map_reduce<R, A, F, G>(n: usize, f: F, init: A, fold: G) -> A
@@ -312,6 +344,39 @@ mod tests {
         assert_eq!(sorted.len(), a.len());
         assert_ne!(seed_for(7, 3), seed_for(8, 3));
         assert_ne!(seed_for(7, 3), seed_for(7, 4));
+    }
+
+    #[test]
+    fn min_items_threshold_matches_parallel_results() {
+        // Threshold-sized and sub-threshold inputs must produce exactly
+        // the unthresholded pool's output at every thread count — the
+        // fallback only moves work inline, never changes it.
+        let work = |i: usize| ((i as f64 + 0.3).sin() * 1e6, i * 7);
+        for n in [0usize, 1, 31, 32, 33, 64, 257] {
+            let reference = Pool::new(1).map_collect(n, work);
+            for threads in [1, 2, 8] {
+                for min_items in [1usize, 32, 1000] {
+                    let out = Pool::new(threads)
+                        .with_min_items_per_worker(min_items)
+                        .map_collect(n, work);
+                    assert_eq!(out, reference, "n={n} threads={threads} min={min_items}");
+                }
+            }
+            assert_eq!(par_map_collect_min(n, 32, work), reference, "n={n} free fn");
+        }
+    }
+
+    #[test]
+    fn min_items_gates_worker_spawning() {
+        // n / min_items bounds the workers: below 2×min_items the region
+        // must degrade to exactly one (inline) worker.
+        let pool = Pool::new(8).with_min_items_per_worker(32);
+        assert_eq!(pool.min_items_per_worker(), 32);
+        let workers = |n: usize| pool.threads().min(n).min(n / pool.min_items_per_worker());
+        assert_eq!(workers(20), 0); // inline path
+        assert_eq!(workers(64), 2); // two workers
+        // Default keeps historical behavior.
+        assert_eq!(Pool::new(8).min_items_per_worker(), 1);
     }
 
     #[test]

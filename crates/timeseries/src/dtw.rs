@@ -139,10 +139,10 @@ mod tests {
             .map(|s| (0..20).map(|i| ((i + 3 * s) as f64 * 0.3).sin()).collect())
             .collect();
         let m = dtw_matrix(&series, Some(5));
-        for i in 0..5 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..5 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
             }
         }
     }

@@ -12,8 +12,32 @@
 //! of the series' Euclidean norms (*coefficient* normalization). SBD lies in
 //! `[0, 2]`, is 0 for identical shapes at any shift, and is invariant to
 //! amplitude scaling when inputs are z-normalized.
+//!
+//! # Degenerate series convention
+//!
+//! A series with **no shape** — one whose Euclidean norm is (near) zero
+//! *or* that is constant (zero variance) — correlates with nothing:
+//! `NCC_c` is defined as 0 at shift 0, so its SBD to anything (including
+//! another flat series) is exactly **1.0**, the neutral midpoint of
+//! `[0, 2]`. This makes the convention explicit at the SBD layer rather
+//! than an accident of `z_normalize` mapping constants to all-zeros
+//! (which this definition agrees with: a z-normalized constant is the
+//! zero series, whose norm is zero).
+//!
+//! # Batched evaluation
+//!
+//! [`ncc_c`]/[`shape_based_distance`] are one-shot conveniences. The hot
+//! paths (k-Shape assignment, pairwise matrices, cluster-quality indices)
+//! go through [`SbdEngine`]: each series' z-padded spectrum and norm are
+//! computed **once** ([`SbdEngine::spectrum`]), after which every distance
+//! costs one inverse transform — no forward FFTs, no heap allocation
+//! (caller-owned [`SbdScratch`]). Engine results are bit-identical to the
+//! one-shot functions.
 
-use crate::fft::cross_correlation;
+use crate::complex::Complex;
+use crate::fft::{
+    cross_correlation_spectra, forward_spectrum, next_pow2, with_cached_plan, FftPlan,
+};
 
 /// Result of an NCC-c maximization: the best-aligned correlation value and
 /// the shift that achieves it.
@@ -26,30 +50,182 @@ pub struct Alignment {
     pub shift: isize,
 }
 
+const FLAT: Alignment = Alignment { ncc: 0.0, shift: 0 };
+
+/// A series prepared for batched SBD: its forward spectrum at the engine's
+/// padded length, Euclidean norm, and flat-series flag.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// Euclidean norm of the raw series.
+    norm: f64,
+    /// No shape: zero norm or constant series (see module docs).
+    flat: bool,
+    /// Forward FFT of the zero-padded series.
+    bins: Vec<Complex>,
+}
+
+impl Spectrum {
+    /// Euclidean norm of the series this spectrum was computed from.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Whether the series is flat (no shape): zero norm or constant.
+    pub fn is_flat(&self) -> bool {
+        self.flat
+    }
+}
+
+/// Caller-owned buffer for the engine's inverse transforms, grown on
+/// first use and reused thereafter.
+#[derive(Debug, Default, Clone)]
+pub struct SbdScratch {
+    buf: Vec<Complex>,
+}
+
+impl SbdScratch {
+    /// An empty scratch; grows to the engine's FFT length on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Plan-cached SBD kernel for equal-length series of length `m`.
+///
+/// Holds the FFT plan for the padded correlation length
+/// `next_pow2(2m − 1)`. Precompute one [`Spectrum`] per series, then
+/// every pairwise [`SbdEngine::ncc_c`]/[`SbdEngine::sbd`] costs a single
+/// inverse transform over a caller-owned [`SbdScratch`] — zero per-call
+/// heap allocation, bit-identical to the one-shot [`ncc_c`].
+#[derive(Debug, Clone)]
+pub struct SbdEngine {
+    m: usize,
+    plan: FftPlan,
+}
+
+impl SbdEngine {
+    /// An engine for series of length `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "NCC-c of empty series");
+        SbdEngine { m, plan: FftPlan::new(next_pow2(2 * m - 1)) }
+    }
+
+    /// The series length this engine was built for.
+    pub fn series_len(&self) -> usize {
+        self.m
+    }
+
+    /// The padded FFT length.
+    pub fn fft_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Computes a series' spectrum (one forward FFT plus norm and
+    /// flatness checks). Allocates the spectrum's buffer — do this once
+    /// per series, outside the hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series.len()` differs from the engine length.
+    pub fn spectrum(&self, series: &[f64]) -> Spectrum {
+        let mut s = Spectrum { norm: 0.0, flat: true, bins: Vec::new() };
+        self.spectrum_into(series, &mut s);
+        s
+    }
+
+    /// Recomputes `out` from `series`, reusing its buffer — the zero-
+    /// allocation path for spectra that change every round (k-Shape
+    /// centroids).
+    pub fn spectrum_into(&self, series: &[f64], out: &mut Spectrum) {
+        assert_eq!(series.len(), self.m, "engine built for length {}", self.m);
+        out.norm = series.iter().map(|v| v * v).sum::<f64>().sqrt();
+        out.flat = out.norm <= f64::EPSILON || series.windows(2).all(|w| w[0] == w[1]);
+        forward_spectrum(&self.plan, series, &mut out.bins);
+    }
+
+    /// The maximizing [`Alignment`] of two prepared series — the batched
+    /// form of [`ncc_c`], bit-identical to it.
+    pub fn ncc_c(&self, x: &Spectrum, y: &Spectrum, scratch: &mut SbdScratch) -> Alignment {
+        if x.flat || y.flat {
+            return FLAT;
+        }
+        let denom = x.norm * y.norm;
+        let n = self.plan.len();
+        scratch.buf.clear();
+        scratch.buf.extend_from_slice(&x.bins);
+        for (a, b) in scratch.buf.iter_mut().zip(y.bins.iter()) {
+            *a = *a * b.conj();
+        }
+        self.plan.fft_in_place(&mut scratch.buf, crate::fft::Direction::Inverse);
+
+        // Scan the circular buffer in output order (lag −(m−1) ..= m−1) —
+        // negative lags live at the tail `n−(m−1)..n`, non-negative at the
+        // head `0..m` — visiting candidates in exactly the order the
+        // one-shot path scans its materialized sequence, so the strict
+        // `>` keeps the same winner.
+        let neg = self.m - 1;
+        let mut best = Alignment { ncc: f64::NEG_INFINITY, shift: 0 };
+        for (off, c) in scratch.buf[n - neg..n].iter().enumerate() {
+            let ncc = c.re / denom;
+            if ncc > best.ncc {
+                best = Alignment { ncc, shift: off as isize - neg as isize };
+            }
+        }
+        for (lag, c) in scratch.buf[..self.m].iter().enumerate() {
+            let ncc = c.re / denom;
+            if ncc > best.ncc {
+                best = Alignment { ncc, shift: lag as isize };
+            }
+        }
+        best
+    }
+
+    /// Shape-based distance of two prepared series: `1 − max NCC_c`.
+    pub fn sbd(&self, x: &Spectrum, y: &Spectrum, scratch: &mut SbdScratch) -> f64 {
+        1.0 - self.ncc_c(x, y, scratch).ncc
+    }
+}
+
 /// Computes the full coefficient-normalized cross-correlation sequence
 /// `NCC_c(x, y)` and returns the maximizing [`Alignment`].
 ///
-/// If either series has zero norm, the correlation is defined as 0 at shift
-/// 0 (two flat series have no shape to compare).
+/// If either series is flat — zero norm *or* constant (see the module
+/// docs) — the correlation is defined as 0 at shift 0.
 pub fn ncc_c(x: &[f64], y: &[f64]) -> Alignment {
     assert_eq!(x.len(), y.len(), "NCC-c requires equal-length series");
     assert!(!x.is_empty(), "NCC-c of empty series");
     let nx = x.iter().map(|v| v * v).sum::<f64>().sqrt();
     let ny = y.iter().map(|v| v * v).sum::<f64>().sqrt();
     if nx <= f64::EPSILON || ny <= f64::EPSILON {
-        return Alignment { ncc: 0.0, shift: 0 };
+        return FLAT;
+    }
+    if x.windows(2).all(|w| w[0] == w[1]) || y.windows(2).all(|w| w[0] == w[1]) {
+        return FLAT; // constant series carry no shape
     }
     let denom = nx * ny;
-    let cc = cross_correlation(x, y);
-    let mut best = Alignment { ncc: f64::NEG_INFINITY, shift: 0 };
-    let zero_index = y.len() as isize - 1;
-    for (k, &v) in cc.iter().enumerate() {
-        let ncc = v / denom;
-        if ncc > best.ncc {
-            best = Alignment { ncc, shift: k as isize - zero_index };
+    let out_len = 2 * x.len() - 1;
+    let n = next_pow2(out_len);
+    with_cached_plan(n, |plan| {
+        let mut fx = Vec::new();
+        let mut fy = Vec::new();
+        forward_spectrum(plan, x, &mut fx);
+        forward_spectrum(plan, y, &mut fy);
+        let mut cc = Vec::new();
+        cross_correlation_spectra(plan, &fy, y.len(), &mut fx, out_len, &mut cc);
+        let mut best = Alignment { ncc: f64::NEG_INFINITY, shift: 0 };
+        let zero_index = y.len() as isize - 1;
+        for (k, &v) in cc.iter().enumerate() {
+            let ncc = v / denom;
+            if ncc > best.ncc {
+                best = Alignment { ncc, shift: k as isize - zero_index };
+            }
         }
-    }
-    best
+        best
+    })
 }
 
 /// Shape-based distance: `1 − max NCC_c(x, y)`, in `[0, 2]`.
@@ -73,13 +249,23 @@ pub fn shift_series(y: &[f64], shift: isize) -> Vec<f64> {
 
 /// Pairwise SBD matrix of a set of equal-length series.
 ///
-/// The result is symmetric with a zero diagonal.
+/// The result is symmetric with a zero diagonal. Batched: each series'
+/// spectrum is computed once (`O(n)` forward transforms), and each of the
+/// `n(n−1)/2` pairs costs one inverse transform.
 pub fn sbd_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let n = series.len();
     let mut m = vec![vec![0.0; n]; n];
+    if n == 0 {
+        return m;
+    }
+    let len = series[0].len();
+    assert!(series.iter().all(|s| s.len() == len), "series lengths must match");
+    let engine = SbdEngine::new(len);
+    let spectra: Vec<Spectrum> = series.iter().map(|s| engine.spectrum(s)).collect();
+    let mut scratch = SbdScratch::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = shape_based_distance(&series[i], &series[j]);
+            let d = engine.sbd(&spectra[i], &spectra[j], &mut scratch);
             m[i][j] = d;
             m[j][i] = d;
         }
@@ -150,6 +336,75 @@ mod tests {
     }
 
     #[test]
+    fn constant_series_have_neutral_distance_by_convention() {
+        // Zero variance but nonzero norm: no shape, SBD is exactly 1.0 —
+        // to a varying series, to a different constant, and to itself.
+        let c = vec![3.5; 16];
+        let d = vec![-2.0; 16];
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        for other in [&y, &d, &c] {
+            assert_eq!(shape_based_distance(&c, other), 1.0);
+            assert_eq!(shape_based_distance(other, &c), 1.0);
+            let a = ncc_c(&c, other);
+            assert_eq!((a.ncc, a.shift), (0.0, 0));
+        }
+        // Consistent with the z-normalize route: a z-normalized constant
+        // is the zero series, which hits the zero-norm rule.
+        assert_eq!(shape_based_distance(&z_normalize(&c), &z_normalize(&y)), 1.0);
+    }
+
+    #[test]
+    fn engine_matches_one_shot_functions_bitwise() {
+        let m = 37;
+        let series: Vec<Vec<f64>> = (0..6)
+            .map(|s| (0..m).map(|i| ((i + s * 5) as f64 * 0.41).sin() + s as f64 * 0.1).collect())
+            .collect();
+        let engine = SbdEngine::new(m);
+        let spectra: Vec<Spectrum> = series.iter().map(|s| engine.spectrum(s)).collect();
+        let mut scratch = SbdScratch::new();
+        for i in 0..series.len() {
+            for j in 0..series.len() {
+                let fast = engine.ncc_c(&spectra[i], &spectra[j], &mut scratch);
+                let slow = ncc_c(&series[i], &series[j]);
+                assert_eq!(fast.ncc.to_bits(), slow.ncc.to_bits(), "({i},{j})");
+                assert_eq!(fast.shift, slow.shift, "({i},{j})");
+                let d_fast = engine.sbd(&spectra[i], &spectra[j], &mut scratch);
+                assert_eq!(d_fast.to_bits(), shape_based_distance(&series[i], &series[j]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_flags_flat_series() {
+        let engine = SbdEngine::new(8);
+        assert!(engine.spectrum(&[0.0; 8]).is_flat());
+        assert!(engine.spectrum(&[7.25; 8]).is_flat());
+        let wave: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let spec = engine.spectrum(&wave);
+        assert!(!spec.is_flat());
+        assert!(spec.norm() > 0.0);
+        let mut scratch = SbdScratch::new();
+        assert_eq!(engine.sbd(&engine.spectrum(&[7.25; 8]), &spec, &mut scratch), 1.0);
+    }
+
+    #[test]
+    fn spectrum_into_reuses_buffers() {
+        let engine = SbdEngine::new(16);
+        let a: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut spec = engine.spectrum(&a);
+        engine.spectrum_into(&b, &mut spec);
+        let fresh = engine.spectrum(&b);
+        assert_eq!(spec.norm().to_bits(), fresh.norm().to_bits());
+        let mut scratch = SbdScratch::new();
+        let wave = engine.spectrum(&a);
+        assert_eq!(
+            engine.sbd(&spec, &wave, &mut scratch).to_bits(),
+            engine.sbd(&fresh, &wave, &mut scratch).to_bits()
+        );
+    }
+
+    #[test]
     fn shift_series_zero_fills() {
         let y = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(shift_series(&y, 2), vec![0.0, 0.0, 1.0, 2.0]);
@@ -164,10 +419,26 @@ mod tests {
             .map(|s| (0..16).map(|i| ((i + s * 3) as f64 * 0.4).sin()).collect())
             .collect();
         let m = sbd_matrix(&series);
-        for i in 0..4 {
-            assert!(m[i][i] < 1e-12);
-            for j in 0..4 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert!(row[i] < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sbd_matrix_matches_pairwise_calls_bitwise() {
+        let series: Vec<Vec<f64>> = (0..5)
+            .map(|s| (0..21).map(|i| ((i * (s + 2)) % 9) as f64 - 4.0).collect())
+            .collect();
+        let m = sbd_matrix(&series);
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                assert_eq!(
+                    m[i][j].to_bits(),
+                    shape_based_distance(&series[i], &series[j]).to_bits()
+                );
             }
         }
     }

@@ -4,9 +4,16 @@
 use proptest::prelude::*;
 
 use mobilenet::cluster::{kmeans, kshape};
-use mobilenet::timeseries::fft::{cross_correlation, cross_correlation_naive};
+use mobilenet::timeseries::fft::{
+    cross_correlation, cross_correlation_auto, cross_correlation_naive,
+    cross_correlation_with_plan, fft_in_place, next_pow2, CorrScratch, Direction, FftPlan,
+    AUTO_NAIVE_MAX_WORK,
+};
 use mobilenet::timeseries::norm::{min_max_normalize, to_shares, z_normalize};
-use mobilenet::timeseries::sbd::{ncc_c, shape_based_distance, shift_series};
+use mobilenet::timeseries::sbd::{
+    ncc_c, shape_based_distance, shift_series, SbdEngine, SbdScratch,
+};
+use mobilenet::timeseries::Complex;
 use mobilenet::timeseries::stats::{
     concentration_curve, linear_fit, pearson_r, quantile, r_squared, share_of_top, Ecdf,
 };
@@ -58,6 +65,92 @@ proptest! {
             prop_assert!((total - 1.0).abs() < 1e-9);
         }
         prop_assert!(shares.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn planned_fft_matches_oneshot_oracle_bitwise(
+        x in finite_series(1..130),
+    ) {
+        // The cached-plan transform must be BIT-identical to the one-shot
+        // reference, both directions — the twiddle tables are filled by
+        // the same recurrence the unplanned kernel runs live.
+        let n = next_pow2(x.len());
+        let plan = FftPlan::new(n);
+        let mut planned: Vec<Complex> =
+            x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        planned.resize(n, Complex::new(0.0, 0.0));
+        let mut oneshot = planned.clone();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            plan.fft_in_place(&mut planned, dir);
+            fft_in_place(&mut oneshot, dir);
+            for (a, b) in planned.iter().zip(oneshot.iter()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_cross_correlation_matches_allocating_form_bitwise(
+        x in finite_series(1..80),
+        y in finite_series(1..80),
+    ) {
+        let plan = FftPlan::new(next_pow2(x.len() + y.len() - 1));
+        let mut scratch = CorrScratch::new();
+        let mut out = Vec::new();
+        // Twice through the same scratch: the warmed second pass must
+        // also match (stale buffer contents must not leak through).
+        for _ in 0..2 {
+            cross_correlation_with_plan(&plan, &x, &y, &mut scratch, &mut out);
+            let oracle = cross_correlation(&x, &y);
+            prop_assert_eq!(out.len(), oracle.len());
+            for (a, b) in out.iter().zip(oracle.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_cross_correlation_matches_selected_branch_bitwise(
+        x in finite_series(1..80),
+        y in finite_series(1..80),
+    ) {
+        // Lengths up to 80×80 straddle the 48×48 dispatch threshold, so
+        // both branches are exercised. The contract is bit-identity with
+        // whichever kernel the size class selects.
+        let auto = cross_correlation_auto(&x, &y);
+        let oracle = if x.len() * y.len() <= AUTO_NAIVE_MAX_WORK {
+            cross_correlation_naive(&x, &y)
+        } else {
+            cross_correlation(&x, &y)
+        };
+        prop_assert_eq!(auto.len(), oracle.len());
+        for (a, b) in auto.iter().zip(oracle.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sbd_engine_matches_oneshot_kernels_bitwise(
+        series in prop::collection::vec(finite_series(6..6 + 1), 2..6),
+        m in 4usize..32,
+    ) {
+        // Re-cut the generated rows to a common length m, then check the
+        // batched engine against the per-call kernels bit-for-bit.
+        let rows: Vec<Vec<f64>> = series
+            .iter()
+            .map(|s| (0..m).map(|i| s[i % s.len()] * (1.0 + i as f64 * 0.01)).collect())
+            .collect();
+        let engine = SbdEngine::new(m);
+        let specs: Vec<_> = rows.iter().map(|r| engine.spectrum(r)).collect();
+        let mut scratch = SbdScratch::new();
+        for (i, a) in rows.iter().enumerate() {
+            for (j, b) in rows.iter().enumerate() {
+                let batched = engine.sbd(&specs[i], &specs[j], &mut scratch);
+                let oneshot = shape_based_distance(a, b);
+                prop_assert_eq!(batched.to_bits(), oneshot.to_bits());
+            }
+        }
     }
 
     #[test]
