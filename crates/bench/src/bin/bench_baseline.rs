@@ -30,7 +30,9 @@ use mobilenet_core::temporal::{clustering_sweep, Algorithm};
 use mobilenet_core::topical::topical_profiles;
 use mobilenet_core::Scale;
 use mobilenet_geo::Country;
-use mobilenet_netsim::{collect_with_options, CollectOptions};
+use mobilenet_netsim::{
+    collect_with_options, observe_with_options, CollectOptions, FoldStrategy, SliceSource,
+};
 use mobilenet_traffic::{DemandModel, Direction, ServiceCatalog};
 use std::sync::Arc;
 
@@ -205,6 +207,7 @@ fn main() {
     mobilenet_par::set_thread_override(Some(args.threads));
     println!("-- streaming ingestion ({} threads)", args.threads);
     let mut ingest_json = String::new();
+    let mut ingest_rps: Vec<(String, f64)> = Vec::new();
     let mut ingest_csvs: Vec<usize> = Vec::new();
     for (mode, chunk) in [("materialized", usize::MAX), ("streaming", CollectOptions::default().chunk_size)]
     {
@@ -216,9 +219,53 @@ fn main() {
         let records = out.ingest.records;
         let throughput = if secs > 0.0 { records as f64 / secs } else { 0.0 };
         println!(
-            "   {mode:<12} {secs:>8.2}s  {throughput:>12.0} rec/s  peak resident {:>10}",
+            "   {mode:<14} {secs:>8.2}s  {throughput:>12.0} rec/s  peak resident {:>10}",
             out.ingest.peak_resident_records
         );
+        ingest_json.push_str(&format!(
+            "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
+             \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }},\n",
+            secs,
+            records,
+            throughput,
+            out.ingest.peak_resident_records,
+            out.ingest.workers,
+        ));
+        ingest_rps.push((mode.to_string(), throughput));
+        ingest_csvs.push(out.dataset.to_csv().len());
+    }
+    assert_eq!(
+        ingest_csvs[0], ingest_csvs[1],
+        "streaming collection diverged from the materialized path"
+    );
+
+    // Pure record-aggregation replay: capture the record stream once,
+    // then time only the fold (no session synthesis, no probe RNG) —
+    // row-at-a-time versus the columnar batched fold. This is where the
+    // dense-accumulation rewrite shows up: synthesis costs hundreds of
+    // nanoseconds per record and would otherwise drown the aggregation
+    // signal.
+    let mut captured: Vec<mobilenet_netsim::SessionRecord> = Vec::new();
+    observe_with_options(&model, &config.netsim, &CollectOptions::default(), args.seed, |r| {
+        captured.push(r.clone())
+    })
+    .expect("scale configs are valid");
+    let mut replay_csvs: Vec<usize> = Vec::new();
+    for (mode, fold) in
+        [("replay_rows", FoldStrategy::RowAtATime), ("replay_batched", FoldStrategy::Batched)]
+    {
+        let options = CollectOptions::default().fold_strategy(fold);
+        let source = SliceSource::new(&captured);
+        // One warm-up pass so allocator and caches settle, then the
+        // timed pass.
+        mobilenet_netsim::ingest(&source, &model, &options).expect("replay options are valid");
+        let t0 = std::time::Instant::now();
+        let out = mobilenet_netsim::ingest(&source, &model, &options)
+            .expect("replay options are valid");
+        let secs = t0.elapsed().as_secs_f64();
+        let records = out.ingest.records;
+        let throughput = if secs > 0.0 { records as f64 / secs } else { 0.0 };
+        println!("   {mode:<14} {secs:>8.2}s  {throughput:>12.0} rec/s");
         ingest_json.push_str(&format!(
             "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
              \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }}{}\n",
@@ -227,13 +274,14 @@ fn main() {
             throughput,
             out.ingest.peak_resident_records,
             out.ingest.workers,
-            if mode == "materialized" { "," } else { "" }
+            if mode == "replay_rows" { "," } else { "" }
         ));
-        ingest_csvs.push(out.dataset.to_csv().len());
+        ingest_rps.push((mode.to_string(), throughput));
+        replay_csvs.push(out.dataset.to_csv().len());
     }
     assert_eq!(
-        ingest_csvs[0], ingest_csvs[1],
-        "streaming collection diverged from the materialized path"
+        replay_csvs[0], replay_csvs[1],
+        "batched replay fold diverged from the row-at-a-time fold"
     );
     mobilenet_par::set_thread_override(None);
     mobilenet_obs::set_enabled(None);
@@ -314,6 +362,39 @@ fn main() {
                     r.baseline_s,
                     r.current_s,
                     100.0 * (r.current_s - r.baseline_s) / r.baseline_s
+                );
+            }
+            std::process::exit(1);
+        }
+
+        // Throughput side of the gate: ingestion modes must not lose more
+        // than 25% of their baseline records/s.
+        let ingest_baseline = mobilenet_bench::parse_ingest_baselines(&text)
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        println!("-- comparing ingestion throughput against {}", path.display());
+        for base in &ingest_baseline {
+            let Some((_, cur)) = ingest_rps.iter().find(|(n, _)| *n == base.mode) else {
+                println!("   {:<14} (not measured this run)", base.mode);
+                continue;
+            };
+            let ratio = if base.records_per_s > 0.0 { cur / base.records_per_s } else { 0.0 };
+            println!(
+                "   {:<14} {:>12.0} -> {:>12.0} rec/s  ({:.2}x baseline)",
+                base.mode, base.records_per_s, cur, ratio
+            );
+        }
+        let ingest_regressions =
+            mobilenet_bench::compare_ingest(&ingest_baseline, &ingest_rps);
+        if ingest_regressions.is_empty() {
+            println!("-- no ingestion mode lost more than 25% throughput");
+        } else {
+            for r in &ingest_regressions {
+                eprintln!(
+                    "REGRESSION: ingest {} went {:.0} -> {:.0} rec/s ({:+.0}%)",
+                    r.mode,
+                    r.baseline_rps,
+                    r.current_rps,
+                    100.0 * (r.current_rps - r.baseline_rps) / r.baseline_rps
                 );
             }
             std::process::exit(1);

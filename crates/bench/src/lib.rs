@@ -65,6 +65,26 @@ pub struct Regression {
     pub current_s: f64,
 }
 
+/// Ingestion throughput read back from a `BENCH_*.json` baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBaseline {
+    /// Ingestion mode, e.g. `"streaming"` or `"replay_batched"`.
+    pub mode: String,
+    /// Records aggregated per second.
+    pub records_per_s: f64,
+}
+
+/// An ingestion-throughput regression found by [`compare_ingest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRegression {
+    /// Ingestion mode that regressed.
+    pub mode: String,
+    /// Baseline records per second.
+    pub baseline_rps: f64,
+    /// Current records per second.
+    pub current_rps: f64,
+}
+
 /// Relative slowdown (fraction of baseline) above which a stage counts as
 /// regressed. 25% rides comfortably above shared-runner timing noise for
 /// stages long enough to clear [`COMPARE_MIN_DELTA_S`].
@@ -126,6 +146,62 @@ pub fn parse_stage_baselines(json: &str) -> Result<Vec<StageBaseline>, String> {
         return Err("stages array is empty".into());
     }
     Ok(stages)
+}
+
+/// Parses the `"ingest"` array out of a `BENCH_*.json` file written by
+/// `bench_baseline` — one `{ "mode": …, "records_per_s": … }` object per
+/// measured ingestion mode. Same hand-rolled grammar as
+/// [`parse_stage_baselines`]. Files predating the ingest section parse as
+/// an empty list (old baselines simply don't gate throughput).
+pub fn parse_ingest_baselines(json: &str) -> Result<Vec<IngestBaseline>, String> {
+    let Some(start) = json.find("\"ingest\"") else {
+        return Ok(Vec::new());
+    };
+    let rest = &json[start..];
+    let open = rest.find('[').ok_or("no ingest array")?;
+    let close = rest[open..].find(']').ok_or("unterminated ingest array")? + open;
+    let body = &rest[open + 1..close];
+
+    let mut modes = Vec::new();
+    let mut cursor = body;
+    while let Some(obj_start) = cursor.find('{') {
+        let obj_end = cursor[obj_start..]
+            .find('}')
+            .ok_or("unterminated ingest object")?
+            + obj_start;
+        let obj = &cursor[obj_start..=obj_end];
+        modes.push(IngestBaseline {
+            mode: json_str(obj, "mode").ok_or("ingest object missing \"mode\"")?,
+            records_per_s: json_num(obj, "records_per_s")
+                .ok_or("ingest object missing \"records_per_s\"")?,
+        });
+        cursor = &cursor[obj_end + 1..];
+    }
+    Ok(modes)
+}
+
+/// Compares current ingestion throughput against a baseline and returns
+/// the modes that regressed: throughput down by more than
+/// [`COMPARE_MAX_RELATIVE_SLOWDOWN`] relative to the baseline. Modes
+/// present on only one side are ignored, like [`compare_stages`].
+pub fn compare_ingest(
+    baseline: &[IngestBaseline],
+    current: &[(String, f64)],
+) -> Vec<IngestRegression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let Some((_, cur)) = current.iter().find(|(name, _)| *name == base.mode) else {
+            continue;
+        };
+        if *cur < (1.0 - COMPARE_MAX_RELATIVE_SLOWDOWN) * base.records_per_s {
+            regressions.push(IngestRegression {
+                mode: base.mode.clone(),
+                baseline_rps: base.records_per_s,
+                current_rps: *cur,
+            });
+        }
+    }
+    regressions
 }
 
 /// Compares current per-stage serial timings against a baseline and
@@ -207,6 +283,48 @@ mod tests {
         let regs = compare_stages(&baseline, &current);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].stage, "generation");
+    }
+
+    const INGEST_SAMPLE: &str = r#"{
+  "schema": "mobilenet-bench-baseline/v1",
+  "stages": [
+    { "stage": "generation", "serial_s": 0.3095, "parallel_s": 0.1536, "speedup": 2.01 }
+  ],
+  "ingest": [
+    { "mode": "streaming", "seconds": 1.2, "records": 3300000, "records_per_s": 2750000 },
+    { "mode": "replay_batched", "seconds": 0.15, "records": 3300000, "records_per_s": 22000000 }
+  ],
+  "obs": { "counters": { "netsim.ingest.chunks": 5 } }
+}"#;
+
+    #[test]
+    fn parses_ingest_array() {
+        let modes = parse_ingest_baselines(INGEST_SAMPLE).unwrap();
+        assert_eq!(modes.len(), 2);
+        assert_eq!(modes[0].mode, "streaming");
+        assert_eq!(modes[0].records_per_s, 2_750_000.0);
+        assert_eq!(modes[1].mode, "replay_batched");
+        assert_eq!(modes[1].records_per_s, 22_000_000.0);
+        // Pre-ingest baselines gate nothing instead of erroring.
+        assert_eq!(parse_ingest_baselines("{\"stages\": []}").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn flags_only_real_throughput_drops() {
+        let baseline = parse_ingest_baselines(INGEST_SAMPLE).unwrap();
+        let current = vec![
+            // 30% drop: regression.
+            ("streaming".to_string(), 1_925_000.0),
+            // 10% drop: within tolerance.
+            ("replay_batched".to_string(), 19_800_000.0),
+            // Unknown modes are ignored.
+            ("replay_rows".to_string(), 1.0),
+        ];
+        let regs = compare_ingest(&baseline, &current);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].mode, "streaming");
+        assert_eq!(regs[0].baseline_rps, 2_750_000.0);
+        assert!(compare_ingest(&baseline, &[("streaming".to_string(), 2_800_000.0)]).is_empty());
     }
 
     #[test]

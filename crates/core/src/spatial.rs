@@ -15,6 +15,12 @@ use mobilenet_traffic::Direction;
 
 use crate::study::Study;
 
+/// Minimum r² pairs each parallel worker must receive before the
+/// pairwise block fans out; smaller pair lists (the standard 20-service
+/// catalog yields 190) run inline, where they are faster than any
+/// spawn/steal schedule.
+const R2_MIN_PAIRS_PER_WORKER: usize = 256;
+
 /// Figure 8 for one service.
 #[derive(Debug, Clone)]
 pub struct ConcentrationReport {
@@ -108,11 +114,15 @@ pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation 
 
     // The O(S²·C) pairwise block, parallelized over the upper-triangle
     // pair list; results come back in pair order, so matrix and CDF are
-    // identical at any thread count.
+    // identical at any thread count. The 20-service catalog yields only
+    // 190 pairs — far below the per-worker threshold — so the standard
+    // run stays inline instead of paying spawn/steal overhead that made
+    // `--threads 8` slower than serial.
     let pairs: Vec<(usize, usize)> =
         (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
-    let pair_values =
-        mobilenet_par::par_map(&pairs, |&(i, j)| r_squared(&vectors[i], &vectors[j]));
+    let pair_values = mobilenet_par::par_map_min(&pairs, R2_MIN_PAIRS_PER_WORKER, |&(i, j)| {
+        r_squared(&vectors[i], &vectors[j])
+    });
     mobilenet_obs::add("core.r2_pairs", pairs.len() as u64);
     let mut matrix = vec![vec![1.0; n]; n];
     for (&(i, j), &r2) in pairs.iter().zip(pair_values.iter()) {

@@ -12,8 +12,6 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use std::collections::HashMap;
-
 use crate::records::FlowSignature;
 
 /// Outcome of classifying one record.
@@ -27,10 +25,34 @@ pub enum ServiceLabel {
     Unclassified,
 }
 
+/// Dictionary code of a signature no fingerprint matched. Codes below
+/// `n_head` name head services, codes in `n_head..n_head + n_tail` name
+/// tail services (by rank), and this sentinel names the unclassified rest
+/// — the encoding [`DpiClassifier::classify_batch`] emits and the batched
+/// aggregation fold branches on.
+pub const UNCLASSIFIED_CODE: u32 = u32::MAX;
+
 /// Fingerprint-table classifier.
+///
+/// The table is an open-addressing hash map specialized to the hot path:
+/// fingerprints are already SplitMix64-finalized (well mixed), so the
+/// probe sequence starts at `signature & mask` and walks linearly —
+/// one L1-resident lookup per record instead of a SipHash `HashMap` probe.
+/// Values are small dictionary codes (see [`UNCLASSIFIED_CODE`]); an
+/// empty slot doubles as the unclassified answer.
 #[derive(Debug, Clone)]
 pub struct DpiClassifier {
-    table: HashMap<FlowSignature, ServiceLabel>,
+    /// Slot keys (raw fingerprint bits); meaningful only where the
+    /// matching `codes` slot is occupied.
+    keys: Vec<u64>,
+    /// Slot values: a service code, or [`UNCLASSIFIED_CODE`] for empty.
+    codes: Vec<u32>,
+    /// `capacity - 1`; capacity is a power of two ≥ 2 × entries.
+    mask: usize,
+    /// Occupied slots.
+    entries: usize,
+    n_head: u32,
+    n_tail: u32,
     /// Fraction of sessions stamped with an opaque signature at the wire.
     opaque_fraction: f64,
     fingerprints_per_service: u32,
@@ -58,25 +80,99 @@ impl DpiClassifier {
     pub fn new(n_head: usize, n_tail: usize, classified_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&classified_fraction));
         let fingerprints_per_service = 4;
-        let mut table = HashMap::new();
+        let max_entries = (n_head + n_tail) * fingerprints_per_service as usize;
+        let capacity = (max_entries * 2).max(8).next_power_of_two();
+        let mut classifier = DpiClassifier {
+            keys: vec![0; capacity],
+            codes: vec![UNCLASSIFIED_CODE; capacity],
+            mask: capacity - 1,
+            entries: 0,
+            n_head: n_head as u32,
+            n_tail: n_tail as u32,
+            opaque_fraction: 1.0 - classified_fraction,
+            fingerprints_per_service,
+        };
         for s in 0..n_head {
             for v in 0..fingerprints_per_service {
-                table.insert(fingerprint(s as u64, v), ServiceLabel::Head(s as u16));
+                classifier.insert(fingerprint(s as u64, v).0, s as u32);
             }
         }
         for t in 0..n_tail {
             for v in 0..fingerprints_per_service {
-                table.insert(
-                    fingerprint(TAIL_KEY_BASE + t as u64, v),
-                    ServiceLabel::Tail(t as u16),
-                );
+                classifier
+                    .insert(fingerprint(TAIL_KEY_BASE + t as u64, v).0, n_head as u32 + t as u32);
             }
         }
-        DpiClassifier {
-            table,
-            opaque_fraction: 1.0 - classified_fraction,
-            fingerprints_per_service,
+        classifier
+    }
+
+    /// Inserts `(key, code)`, overwriting an existing key's code (the
+    /// semantics the historical `HashMap` table had on fingerprint
+    /// collisions).
+    fn insert(&mut self, key: u64, code: u32) {
+        debug_assert!(code != UNCLASSIFIED_CODE);
+        let mut i = (key as usize) & self.mask;
+        loop {
+            if self.codes[i] == UNCLASSIFIED_CODE {
+                self.keys[i] = key;
+                self.codes[i] = code;
+                self.entries += 1;
+                return;
+            }
+            if self.keys[i] == key {
+                self.codes[i] = code;
+                return;
+            }
+            i = (i + 1) & self.mask;
         }
+    }
+
+    /// Looks a raw signature up to its dictionary code
+    /// ([`UNCLASSIFIED_CODE`] when no fingerprint matches).
+    #[inline]
+    pub fn code_of(&self, signature: u64) -> u32 {
+        let mut i = (signature as usize) & self.mask;
+        loop {
+            let code = self.codes[i];
+            // An empty slot (code == UNCLASSIFIED_CODE, key still 0)
+            // terminates the probe with the unclassified answer, which is
+            // exactly what a missing key means.
+            if self.keys[i] == signature || code == UNCLASSIFIED_CODE {
+                return code;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Dictionary-encodes a whole signature column into `codes` — the
+    /// once-per-batch resolution the columnar fold runs on. Clears and
+    /// refills `codes` in place (allocation-free once its capacity has
+    /// warmed to the batch length).
+    pub fn classify_batch(&self, signatures: &[u64], codes: &mut Vec<u32>) {
+        codes.clear();
+        codes.extend(signatures.iter().map(|&sig| self.code_of(sig)));
+    }
+
+    /// Expands a dictionary code back into a [`ServiceLabel`].
+    #[inline]
+    pub fn label_of_code(&self, code: u32) -> ServiceLabel {
+        if code < self.n_head {
+            ServiceLabel::Head(code as u16)
+        } else if code < self.n_head + self.n_tail {
+            ServiceLabel::Tail((code - self.n_head) as u16)
+        } else {
+            ServiceLabel::Unclassified
+        }
+    }
+
+    /// Number of head services (codes `0..n_head` are head codes).
+    pub fn n_head(&self) -> u32 {
+        self.n_head
+    }
+
+    /// Number of tail services (codes `n_head..n_head + n_tail`).
+    pub fn n_tail(&self) -> u32 {
+        self.n_tail
     }
 
     /// Stamps a session of a head service with a wire signature: one of the
@@ -104,13 +200,14 @@ impl DpiClassifier {
     }
 
     /// Inverts a signature to a service label.
+    #[inline]
     pub fn classify(&self, signature: FlowSignature) -> ServiceLabel {
-        self.table.get(&signature).copied().unwrap_or(ServiceLabel::Unclassified)
+        self.label_of_code(self.code_of(signature.0))
     }
 
     /// Number of fingerprints in the table.
     pub fn table_len(&self) -> usize {
-        self.table.len()
+        self.entries
     }
 }
 
@@ -172,5 +269,41 @@ mod tests {
     fn unknown_signature_is_unclassified() {
         let c = DpiClassifier::new(5, 5, 1.0);
         assert_eq!(c.classify(FlowSignature(0xDEAD_BEEF)), ServiceLabel::Unclassified);
+    }
+
+    #[test]
+    fn batch_codes_agree_with_scalar_classification() {
+        let c = DpiClassifier::new(20, 30, 0.88);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut signatures: Vec<u64> = (0..2000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    c.stamp_tail((i % 30) as u16, &mut rng).0
+                } else {
+                    c.stamp_head((i % 20) as u16, &mut rng).0
+                }
+            })
+            .collect();
+        signatures.push(0); // empty-slot key must classify as unknown
+        signatures.push(0xDEAD_BEEF);
+        let mut codes = Vec::new();
+        c.classify_batch(&signatures, &mut codes);
+        assert_eq!(codes.len(), signatures.len());
+        let mut seen_head = false;
+        let mut seen_tail = false;
+        let mut seen_opaque = false;
+        for (&sig, &code) in signatures.iter().zip(codes.iter()) {
+            assert_eq!(c.label_of_code(code), c.classify(FlowSignature(sig)));
+            match c.label_of_code(code) {
+                ServiceLabel::Head(_) => seen_head = true,
+                ServiceLabel::Tail(_) => seen_tail = true,
+                ServiceLabel::Unclassified => seen_opaque = true,
+            }
+        }
+        assert!(seen_head && seen_tail && seen_opaque);
+        // Refilling reuses the column without growing it.
+        let cap = codes.capacity();
+        c.classify_batch(&signatures, &mut codes);
+        assert_eq!(codes.capacity(), cap);
     }
 }

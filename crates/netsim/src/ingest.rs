@@ -42,13 +42,38 @@ use mobilenet_traffic::{DatasetError, DemandModel, TrafficDataset};
 
 use crate::faults::FaultPlan;
 use crate::pipeline::CollectionStats;
-use crate::records::SessionRecord;
+use crate::records::{RecordBatch, SessionRecord};
 use crate::trace::{record_from_line, TraceError, TRACE_HEADER};
 
 /// Default records-per-chunk budget of the streaming engine: small enough
 /// that dozens of workers stay in cache-friendly territory, large enough
 /// to amortize per-chunk accounting to noise.
 pub const DEFAULT_CHUNK_SIZE: usize = 8192;
+
+/// How the engine folds a flushed [`RecordBatch`] into the shard partial.
+///
+/// Both strategies fold records in exactly the same order and perform the
+/// same floating-point additions per record, so their outputs are
+/// **bit-identical**; the batched path only removes per-record overhead
+/// (hash probing, row reconstruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FoldStrategy {
+    /// Columnar fold: dictionary-encode the batch's signatures once
+    /// through the DPI table, then accumulate dense columns in a tight
+    /// loop. The default.
+    #[default]
+    Batched,
+    /// Reassemble each row and fold it through the historical per-record
+    /// path — the reference implementation the batched fold is pinned
+    /// against.
+    RowAtATime,
+}
+
+/// Bucket edges of the `netsim.ingest.batch_records` histogram: batch
+/// (= flushed chunk) sizes from single-record worst cases up past the
+/// default chunk budget.
+const BATCH_RECORDS_EDGES: [f64; 8] =
+    [1.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 8192.0, 32768.0];
 
 /// Options of one collection/ingestion run — the single knob set behind
 /// [`collect_with_options`](crate::pipeline::collect_with_options),
@@ -62,11 +87,18 @@ pub struct CollectOptions {
     /// Records-per-chunk budget of the streaming engine; peak resident
     /// records are bounded by `chunk_size × workers`.
     pub chunk_size: usize,
+    /// How flushed batches fold into shard partials (bit-identical either
+    /// way; [`FoldStrategy::Batched`] is the fast default).
+    pub fold: FoldStrategy,
 }
 
 impl Default for CollectOptions {
     fn default() -> Self {
-        CollectOptions { faults: FaultPlan::none(), chunk_size: DEFAULT_CHUNK_SIZE }
+        CollectOptions {
+            faults: FaultPlan::none(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            fold: FoldStrategy::default(),
+        }
     }
 }
 
@@ -79,6 +111,12 @@ impl CollectOptions {
     /// Sets the records-per-chunk budget.
     pub fn chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the batch fold strategy.
+    pub fn fold_strategy(mut self, fold: FoldStrategy) -> Self {
+        self.fold = fold;
         self
     }
 
@@ -184,44 +222,48 @@ struct IngestLedger {
 
 /// The bounded buffer a [`RecordSource`] pushes one shard's records into.
 ///
-/// Holds at most `chunk_size` records; a full buffer is flushed to the
-/// engine's fold before the next push, so a source never materializes
-/// more than one chunk per worker no matter how large the shard is.
+/// Buffers records **columnar** — one [`RecordBatch`] per sink, filled a
+/// record at a time and handed to the engine's fold whole. Holds at most
+/// `chunk_size` records; a full batch is flushed before the next push, so
+/// a source never materializes more than one chunk per worker no matter
+/// how large the shard is, and a flushed batch's columns keep their
+/// capacity, so a warmed sink never touches the heap again.
 pub struct ChunkSink<'a> {
-    buf: Vec<SessionRecord>,
+    batch: RecordBatch,
     chunk_size: usize,
     ledger: &'a IngestLedger,
-    consume: &'a mut dyn FnMut(&[SessionRecord]),
+    consume: &'a mut dyn FnMut(&mut RecordBatch),
 }
 
 impl<'a> ChunkSink<'a> {
     fn new(
         chunk_size: usize,
         ledger: &'a IngestLedger,
-        consume: &'a mut dyn FnMut(&[SessionRecord]),
+        consume: &'a mut dyn FnMut(&mut RecordBatch),
     ) -> Self {
         // Cap the pre-allocation: `chunk_size ≥ input` is a legitimate
         // way to ask for one chunk per shard without reserving the moon.
         let cap = chunk_size.min(DEFAULT_CHUNK_SIZE);
-        ChunkSink { buf: Vec::with_capacity(cap), chunk_size, ledger, consume }
+        ChunkSink { batch: RecordBatch::with_capacity(cap), chunk_size, ledger, consume }
     }
 
-    /// Appends one record; flushes the chunk to the aggregation fold when
-    /// the budget is reached.
-    pub fn push(&mut self, record: SessionRecord) {
-        self.buf.push(record);
-        if self.buf.len() >= self.chunk_size {
+    /// Appends one record to the batch columns; flushes the chunk to the
+    /// aggregation fold when the budget is reached.
+    #[inline]
+    pub fn push(&mut self, record: &SessionRecord) {
+        self.batch.push(record);
+        if self.batch.len() >= self.chunk_size {
             self.flush();
         }
     }
 
-    /// Flushes the partial chunk (no-op when empty). Called by the engine
+    /// Flushes the partial batch (no-op when empty). Called by the engine
     /// after the source finishes a shard.
     fn flush(&mut self) {
-        if self.buf.is_empty() {
+        if self.batch.is_empty() {
             return;
         }
-        let n = self.buf.len() as u64;
+        let n = self.batch.len() as u64;
         // Residency is accounted at flush granularity: the chunk is
         // counted resident while the fold walks it. The true peak
         // (including buffers still filling) is bounded by
@@ -230,8 +272,17 @@ impl<'a> ChunkSink<'a> {
         self.ledger.peak_resident.fetch_max(now, Ordering::SeqCst);
         self.ledger.chunks.fetch_add(1, Ordering::Relaxed);
         self.ledger.records.fetch_add(n, Ordering::Relaxed);
-        (self.consume)(&self.buf);
-        self.buf.clear();
+        // Per-batch observability: one count per flush plus the size
+        // histogram. Flush boundaries depend only on the record stream
+        // and `chunk_size`, and the histogram sum adds exact small
+        // integers, so both are thread-invariant and stay inside the
+        // deterministic count fingerprint.
+        if mobilenet_obs::enabled() {
+            mobilenet_obs::add("netsim.ingest.batches", 1);
+            mobilenet_obs::observe("netsim.ingest.batch_records", n as f64, &BATCH_RECORDS_EDGES);
+        }
+        (self.consume)(&mut self.batch);
+        self.batch.clear();
         self.ledger.resident.fetch_sub(n, Ordering::SeqCst);
     }
 }
@@ -267,8 +318,8 @@ pub trait RecordSource: Sync {
 
 /// Runs the chunked sharded aggregation: streams every shard of `source`
 /// through bounded [`ChunkSink`]s on the ambient `mobilenet-par` pool,
-/// folds each chunk into the shard's partial via `fold`, and merges
-/// partials in shard order.
+/// folds each flushed [`RecordBatch`] into the shard's partial via
+/// `fold`, and merges partials in shard order.
 ///
 /// Records the `shards` / `merge` obs spans (nesting under the caller's
 /// active span) and the `netsim.ingest.*` counters.
@@ -281,7 +332,7 @@ pub(crate) fn aggregate_source<S, N, F>(
 where
     S: RecordSource,
     N: Fn() -> TrafficDataset + Sync,
-    F: Fn(&SessionRecord, &mut TrafficDataset, &mut CollectionStats) + Sync,
+    F: Fn(&mut RecordBatch, &mut TrafficDataset, &mut CollectionStats) + Sync,
 {
     if chunk_size == 0 {
         return Err(IngestError::Config("chunk_size must be at least 1 record".into()));
@@ -296,11 +347,8 @@ where
         let mut agg = CollectionStats::default();
         let mut source_stats = CollectionStats::default();
         let streamed = {
-            let mut consume = |chunk: &[SessionRecord]| {
-                for record in chunk {
-                    fold(record, &mut dataset, &mut agg);
-                }
-            };
+            let mut consume =
+                |batch: &mut RecordBatch| fold(batch, &mut dataset, &mut agg);
             let mut sink = ChunkSink::new(chunk_size, &ledger, &mut consume);
             let streamed = source.stream_shard(shard, &mut source_stats, &mut sink);
             sink.flush();
@@ -337,6 +385,12 @@ where
         workers,
     };
     record_ingest_metrics(&ingest);
+    if mobilenet_obs::enabled() {
+        // Footprint of one dense fold partial (every shard partial and
+        // the merge target share this shape). A gauge: it describes the
+        // configuration, not the record stream.
+        mobilenet_obs::gauge("netsim.ingest.accumulator_bytes", dataset.dense_bytes() as f64);
+    }
     Ok((dataset, stats, ingest))
 }
 
@@ -386,8 +440,8 @@ pub fn ingest<S: RecordSource>(
         )
     };
     let (mut dataset, stats, ingest) =
-        aggregate_source(source, options.chunk_size, new_dataset, |r, ds, st| {
-            crate::trace::replay_record(r, &classifier, ds, st)
+        aggregate_source(source, options.chunk_size, new_dataset, |batch, ds, st| {
+            crate::pipeline::aggregate_batch(batch, &classifier, options.fold, true, ds, st)
         })?;
     model.fill_tail(&mut dataset);
     mobilenet_obs::add("netsim.faults.skipped_lines", stats.skipped_lines);
@@ -419,7 +473,7 @@ impl RecordSource for SliceSource<'_> {
         sink: &mut ChunkSink<'_>,
     ) -> Result<(), IngestError> {
         for record in self.records {
-            sink.push(record.clone());
+            sink.push(record);
         }
         Ok(())
     }
@@ -507,7 +561,7 @@ impl<R: BufRead + Send> RecordSource for TraceSource<R> {
         while read_line(&mut reader, &mut line)? {
             line_no += 1;
             match record_from_line(&line) {
-                Ok(record) => sink.push(record),
+                Ok(record) => sink.push(&record),
                 Err(message) => {
                     let err = TraceError { line: line_no, message };
                     if self.lossy {
@@ -551,13 +605,13 @@ mod tests {
         let mut seen: Vec<(usize, u16)> = Vec::new();
         let mut chunks = 0usize;
         {
-            let mut consume = |chunk: &[SessionRecord]| {
+            let mut consume = |batch: &mut RecordBatch| {
                 chunks += 1;
-                seen.extend(chunk.iter().map(|r| (chunks, r.start_hour)));
+                seen.extend(batch.start_hours().iter().map(|&h| (chunks, h)));
             };
             let mut sink = ChunkSink::new(3, &ledger, &mut consume);
             for h in 0..8 {
-                sink.push(record(h));
+                sink.push(&record(h));
             }
             sink.flush();
             sink.flush(); // idempotent on empty
@@ -588,7 +642,7 @@ mod tests {
         let mut stats = CollectionStats::default();
         let mut n = 0usize;
         {
-            let mut consume = |chunk: &[SessionRecord]| n += chunk.len();
+            let mut consume = |batch: &mut RecordBatch| n += batch.len();
             let mut sink = ChunkSink::new(4, &ledger, &mut consume);
             source.stream_shard(0, &mut stats, &mut sink).expect("clean trace");
             sink.flush();
@@ -596,7 +650,7 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(source.bytes_read(), body.len() as u64);
         // A second pass finds the reader consumed.
-        let mut consume = |_: &[SessionRecord]| {};
+        let mut consume = |_: &mut RecordBatch| {};
         let mut sink = ChunkSink::new(4, &ledger, &mut consume);
         assert!(matches!(
             source.stream_shard(0, &mut stats, &mut sink),

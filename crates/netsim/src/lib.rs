@@ -52,16 +52,16 @@ pub mod records;
 pub mod trace;
 pub mod uli;
 
-pub use classifier::DpiClassifier;
+pub use classifier::{DpiClassifier, UNCLASSIFIED_CODE};
 pub use config::NetsimConfig;
 pub use faults::{FaultInjector, FaultPlan, FaultStats, OutageWindow};
 pub use ingest::{
-    ingest, ChunkSink, CollectOptions, IngestError, IngestStats, RecordSource, SliceSource,
-    TraceSource, DEFAULT_CHUNK_SIZE,
+    ingest, ChunkSink, CollectOptions, FoldStrategy, IngestError, IngestStats, RecordSource,
+    SliceSource, TraceSource, DEFAULT_CHUNK_SIZE,
 };
 #[allow(deprecated)]
 pub use pipeline::{collect, collect_with_faults};
-pub use pipeline::{collect_with_options, CollectionOutput, CollectionStats};
+pub use pipeline::{aggregate_batch, collect_with_options, CollectionOutput, CollectionStats};
 pub use probe::Probe;
 pub use radio::RadioNetwork;
 #[allow(deprecated)]
@@ -71,5 +71,5 @@ pub use trace::{
     replay_lossy, trace_from_csv, trace_from_csv_lossy, trace_to_csv, trace_to_csv_faulty,
     write_trace_to, CaptureSummary, LossyReplay, LossyTrace, TraceError,
 };
-pub use records::{Interface, SessionRecord};
+pub use records::{Interface, RecordBatch, SessionRecord};
 pub use uli::UliModel;

@@ -19,15 +19,16 @@ use rand::SeedableRng;
 
 use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset};
 
-use crate::classifier::{DpiClassifier, ServiceLabel};
+use crate::classifier::{DpiClassifier, ServiceLabel, UNCLASSIFIED_CODE};
 use crate::config::NetsimConfig;
 use crate::faults::{FaultInjector, FaultPlan, FaultStats};
 use crate::ingest::{
-    aggregate_source, ChunkSink, CollectOptions, IngestError, IngestStats, RecordSource,
+    aggregate_source, ChunkSink, CollectOptions, FoldStrategy, IngestError, IngestStats,
+    RecordSource,
 };
 use crate::probe::Probe;
 use crate::radio::RadioNetwork;
-use crate::records::{Interface, SessionRecord};
+use crate::records::{Interface, RecordBatch, SessionRecord};
 use crate::uli::UliModel;
 
 /// Diagnostics of one collection run.
@@ -205,6 +206,83 @@ fn aggregate_record(
     }
 }
 
+/// Folds one flushed [`RecordBatch`] into a shard's partial dataset and
+/// diagnostics — the streaming engine's per-chunk accumulation step,
+/// shared by collection ([`collect_with_options`]) and replay
+/// ([`crate::ingest::ingest`], `replay_mode = true`, which additionally
+/// counts sessions and stale fixes the way
+/// [`replay_record`](crate::trace) does).
+///
+/// With [`FoldStrategy::Batched`] the batch's signatures are
+/// dictionary-encoded once ([`RecordBatch::resolve_codes`]) and the loop
+/// accumulates dense columns straight into the dataset's flat tables;
+/// with [`FoldStrategy::RowAtATime`] each row is reassembled and folded
+/// through the historical per-record functions. Both walk records in
+/// batch order and perform identical floating-point additions per
+/// record, so the two strategies are bit-identical — pinned by
+/// `tests/streaming_ingest.rs`.
+pub fn aggregate_batch(
+    batch: &mut RecordBatch,
+    classifier: &DpiClassifier,
+    strategy: FoldStrategy,
+    replay_mode: bool,
+    dataset: &mut TrafficDataset,
+    stats: &mut CollectionStats,
+) {
+    match strategy {
+        FoldStrategy::RowAtATime => {
+            for i in 0..batch.len() {
+                let record = batch.row(i);
+                if replay_mode {
+                    crate::trace::replay_record(&record, classifier, dataset, stats);
+                } else {
+                    aggregate_record(&record, classifier, dataset, stats);
+                }
+            }
+        }
+        FoldStrategy::Batched => {
+            batch.resolve_codes(classifier);
+            let n_head = classifier.n_head();
+            let n_services = n_head + classifier.n_tail();
+            let interfaces = batch.interfaces();
+            let hours = batch.start_hours();
+            let dl = batch.dl_mb();
+            let ul = batch.ul_mb();
+            let communes = batch.communes();
+            let stale = batch.stale_uli();
+            let codes = batch.codes();
+            for i in 0..batch.len() {
+                match interfaces[i] {
+                    Interface::Gn => stats.gn_records += 1,
+                    Interface::S5S8 => stats.s5s8_records += 1,
+                }
+                if replay_mode {
+                    stats.sessions += 1;
+                    stats.stale_fixes += stale[i] as u64;
+                }
+                let code = codes[i];
+                if code < n_head {
+                    stats.classified_mb += dl[i] + ul[i];
+                    dataset.add_classified_both(
+                        code as usize,
+                        communes[i] as usize,
+                        hours[i] as usize,
+                        dl[i],
+                        ul[i],
+                    );
+                } else if code < n_services {
+                    stats.classified_mb += dl[i] + ul[i];
+                    dataset.add_tail_both((code - n_head) as usize, dl[i], ul[i]);
+                } else {
+                    debug_assert_eq!(code, UNCLASSIFIED_CODE);
+                    stats.unclassified_mb += dl[i] + ul[i];
+                    dataset.add_unclassified_both(dl[i], ul[i]);
+                }
+            }
+        }
+    }
+}
+
 /// The synthetic demand model as a [`RecordSource`]: one shard per head
 /// service, each streaming `sessions → probe → (faults) → records` from
 /// seed-derived RNG streams — exactly the record stream the historical
@@ -255,10 +333,10 @@ impl RecordSource for SyntheticSource<'_> {
             }
             if self.faulted {
                 self.injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {
-                    sink.push(degraded.clone());
+                    sink.push(degraded);
                 });
             } else {
-                sink.push(record);
+                sink.push(&record);
             }
         });
         stats.faults = fault_stats;
@@ -320,8 +398,8 @@ pub fn collect_with_options(
         )
     };
     let (mut dataset, stats, ingest) =
-        aggregate_source(&source, options.chunk_size, new_dataset, |record, ds, st| {
-            aggregate_record(record, &classifier, ds, st)
+        aggregate_source(&source, options.chunk_size, new_dataset, |batch, ds, st| {
+            aggregate_batch(batch, &classifier, options.fold, false, ds, st)
         })?;
 
     // Tail services: their national weekly totals come straight from the

@@ -250,6 +250,19 @@ where
     Pool::global().with_min_items_per_worker(min_items).map_collect(n, f)
 }
 
+/// [`Pool::map`] on the ambient pool with a serial-fallback work
+/// threshold: spawns only workers that will each process at least
+/// `min_items` slice elements, running tiny inputs inline (see
+/// [`Pool::with_min_items_per_worker`]).
+pub fn par_map_min<T, R, F>(items: &[T], min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::global().with_min_items_per_worker(min_items).map(items, f)
+}
+
 /// [`Pool::map_reduce`] on the ambient pool: ordered fold of mapped
 /// partials, strictly left-to-right in submission order.
 pub fn par_map_reduce<R, A, F, G>(n: usize, f: F, init: A, fold: G) -> A
@@ -363,6 +376,20 @@ mod tests {
                 }
             }
             assert_eq!(par_map_collect_min(n, 32, work), reference, "n={n} free fn");
+        }
+    }
+
+    #[test]
+    fn slice_min_items_threshold_matches_parallel_results() {
+        // The slice-input twin of the threshold guarantee: par_map_min
+        // must equal par_map for every input size and threshold.
+        let work = |x: &f64| (x.sin() * 1e6, x.to_bits());
+        for n in [0usize, 1, 31, 190, 257] {
+            let items: Vec<f64> = (0..n).map(|i| i as f64 + 0.3).collect();
+            let reference = Pool::new(1).map(&items, work);
+            for min_items in [1usize, 32, 256, 1000] {
+                assert_eq!(par_map_min(&items, min_items, work), reference, "n={n} min={min_items}");
+            }
         }
     }
 

@@ -172,6 +172,74 @@ impl TrafficDataset {
         self.tail_weekly[dir.index() * n + tail_rank] += mb;
     }
 
+    /// Records one classified record's downlink and uplink volumes for
+    /// `(service, commune, hour)` in a single call — the columnar fold's
+    /// per-record accumulation step.
+    ///
+    /// Bit-identical to `add(Down, …, dl_mb)` followed by
+    /// `add(Up, …, ul_mb)`: the six dense cells touched are pairwise
+    /// distinct (downlink and uplink tables are disjoint halves), so
+    /// fusing the two calls never regroups a floating-point sum. Taking
+    /// the commune as a raw index skips the `CommuneId` wrapper the
+    /// columnar batch does not store.
+    #[inline]
+    pub fn add_classified_both(
+        &mut self,
+        service: usize,
+        commune: usize,
+        hour: usize,
+        dl_mb: f64,
+        ul_mb: f64,
+    ) {
+        debug_assert!(service < self.n_services);
+        debug_assert!(hour < HOURS_PER_WEEK);
+        debug_assert!(dl_mb.is_nan() || dl_mb >= 0.0, "negative volume {dl_mb}");
+        debug_assert!(ul_mb.is_nan() || ul_mb >= 0.0, "negative volume {ul_mb}");
+        let class = self.commune_class[commune] as usize;
+        let nh = self.nh_index(0, service, hour);
+        let cw = self.cw_index(0, service, commune);
+        let ch = self.ch_index(0, service, class, hour);
+        self.national_hourly[nh] += dl_mb;
+        self.commune_weekly[cw] += dl_mb;
+        self.class_hourly[ch] += dl_mb;
+        let nh = self.nh_index(1, service, hour);
+        let cw = self.cw_index(1, service, commune);
+        let ch = self.ch_index(1, service, class, hour);
+        self.national_hourly[nh] += ul_mb;
+        self.commune_weekly[cw] += ul_mb;
+        self.class_hourly[ch] += ul_mb;
+    }
+
+    /// Records one tail record's volumes in both directions (see
+    /// [`TrafficDataset::add_classified_both`]).
+    #[inline]
+    pub fn add_tail_both(&mut self, tail_rank: usize, dl_mb: f64, ul_mb: f64) {
+        let n = self.n_tail();
+        debug_assert!(tail_rank < n);
+        self.tail_weekly[tail_rank] += dl_mb;
+        self.tail_weekly[n + tail_rank] += ul_mb;
+    }
+
+    /// Records one unclassified record's volumes in both directions.
+    #[inline]
+    pub fn add_unclassified_both(&mut self, dl_mb: f64, ul_mb: f64) {
+        self.unclassified[0] += dl_mb;
+        self.unclassified[1] += ul_mb;
+    }
+
+    /// Bytes held by the dense accumulation tables (national-hourly,
+    /// commune-weekly, class-hourly, tail, unclassified) — the footprint
+    /// of one streaming-fold partial, reported through the
+    /// `netsim.ingest.accumulator_bytes` gauge.
+    pub fn dense_bytes(&self) -> usize {
+        std::mem::size_of::<f64>()
+            * (self.national_hourly.len()
+                + self.commune_weekly.len()
+                + self.class_hourly.len()
+                + self.tail_weekly.len()
+                + self.unclassified.len())
+    }
+
     /// The 168-hour national series of a head service.
     pub fn national_series(&self, dir: Direction, service: usize) -> &[f64] {
         let start = self.nh_index(dir.index(), service, 0);
@@ -604,6 +672,30 @@ mod tests {
         let country = Country::generate(&CountryConfig::small(), 5);
         let ds = TrafficDataset::new(&country, 3, 10, 0.5);
         (country, ds)
+    }
+
+    #[test]
+    fn fused_adds_match_per_direction_adds_bitwise() {
+        let (country, mut a) = dataset();
+        let (_, mut b) = dataset();
+        // Irrational-ish volumes catch any regrouping of the f64 sums.
+        for i in 0..500usize {
+            let commune = country.communes()[i % country.communes().len()].id;
+            let (s, h) = (i % 3, (i * 13) % 168);
+            let (dl, ul) = (0.1 + (i as f64) * 0.37, 0.05 + (i as f64) * 0.11);
+            a.add(Direction::Down, s, commune, h, dl);
+            a.add(Direction::Up, s, commune, h, ul);
+            a.add_tail(Direction::Down, i % 10, dl);
+            a.add_tail(Direction::Up, i % 10, ul);
+            a.add_unclassified(Direction::Down, dl);
+            a.add_unclassified(Direction::Up, ul);
+            b.add_classified_both(s, commune.index(), h, dl, ul);
+            b.add_tail_both(i % 10, dl, ul);
+            b.add_unclassified_both(dl, ul);
+        }
+        assert_eq!(a.to_csv(), b.to_csv(), "fused adds must be bit-identical");
+        assert!(a.dense_bytes() > 0);
+        assert_eq!(a.dense_bytes(), b.dense_bytes());
     }
 
     #[test]

@@ -13,11 +13,22 @@
 //!   with the stats the pipeline returns.
 
 use mobilenet::par::set_thread_override;
-use mobilenet::{FaultPlan, Pipeline, Scale, DEFAULT_SEED};
+use mobilenet::{FaultPlan, FoldStrategy, Pipeline, Scale, DEFAULT_SEED};
 
 /// One pipeline run: dataset CSV, collection stats and ingest stats.
 fn run(faults: FaultPlan, chunk_size: Option<usize>, seed: u64) -> mobilenet::Run {
-    let mut builder = Pipeline::builder().scale(Scale::Small).seed(seed).faults(faults);
+    run_fold(faults, chunk_size, seed, FoldStrategy::Batched)
+}
+
+/// [`run`] with an explicit batch-fold strategy.
+fn run_fold(
+    faults: FaultPlan,
+    chunk_size: Option<usize>,
+    seed: u64,
+    fold: FoldStrategy,
+) -> mobilenet::Run {
+    let mut builder =
+        Pipeline::builder().scale(Scale::Small).seed(seed).faults(faults).fold_strategy(fold);
     if let Some(n) = chunk_size {
         builder = builder.chunk_size(n);
     }
@@ -95,6 +106,54 @@ fn degraded_streaming_matches_degraded_materialized() {
 }
 
 #[test]
+fn batched_fold_matches_row_at_a_time_reference_under_faults() {
+    // The columnar dense-accumulation fold must reproduce the legacy
+    // row-at-a-time fold bit for bit — same dataset bytes, same stats
+    // down to the f64 bits — with a fault plan active, at every chunk
+    // size and thread count. One serial row-at-a-time run is the
+    // reference; everything else must equal it exactly.
+    set_thread_override(Some(1));
+    let reference =
+        run_fold(FaultPlan::degraded(3), None, DEFAULT_SEED, FoldStrategy::RowAtATime);
+    let reference_csv = reference.dataset().to_csv();
+    let reference_stats = reference.collection_stats().expect("measured").clone();
+    let total_records = reference.ingest_stats().expect("measured").records;
+
+    for threads in [1usize, 2, 8] {
+        set_thread_override(Some(threads));
+        // Chunk size 1 (worst case), a small prime, the default-ish, and
+        // one larger than the whole input (the materialized path).
+        for chunk in [1usize, 251, 8192, total_records as usize + 1] {
+            for fold in [FoldStrategy::Batched, FoldStrategy::RowAtATime] {
+                let out = run_fold(FaultPlan::degraded(3), Some(chunk), DEFAULT_SEED, fold);
+                assert!(
+                    out.dataset().to_csv() == reference_csv,
+                    "{fold:?} dataset differs at {threads} threads, chunk {chunk}"
+                );
+                let stats = out.collection_stats().expect("measured");
+                assert_eq!(stats.sessions, reference_stats.sessions);
+                assert_eq!(stats.gn_records, reference_stats.gn_records);
+                assert_eq!(stats.s5s8_records, reference_stats.s5s8_records);
+                assert_eq!(stats.misassigned_sessions, reference_stats.misassigned_sessions);
+                assert_eq!(stats.stale_fixes, reference_stats.stale_fixes);
+                assert_eq!(
+                    stats.classified_mb.to_bits(),
+                    reference_stats.classified_mb.to_bits(),
+                    "{fold:?} classified_mb bits differ at {threads} threads, chunk {chunk}"
+                );
+                assert_eq!(
+                    stats.unclassified_mb.to_bits(),
+                    reference_stats.unclassified_mb.to_bits(),
+                    "{fold:?} unclassified_mb bits differ at {threads} threads, chunk {chunk}"
+                );
+                assert_eq!(stats.faults, reference_stats.faults);
+            }
+        }
+    }
+    set_thread_override(None);
+}
+
+#[test]
 fn ingest_obs_counters_agree_with_reported_stats() {
     mobilenet::obs::reset();
     let out = Pipeline::builder()
@@ -112,6 +171,8 @@ fn ingest_obs_counters_agree_with_reported_stats() {
         snapshot.counter("netsim.ingest.bytes_read"),
         Some(ingest.bytes_read)
     );
+    // Every chunk flush emits exactly one batch on the columnar path.
+    assert_eq!(snapshot.counter("netsim.ingest.batches"), Some(ingest.chunks));
     assert_eq!(ingest.chunk_size, 64);
     assert!(ingest.workers >= 1);
     assert!(ingest.peak_resident_records <= ingest.resident_budget());
