@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use mobilenet_timeseries::zipf::{fit_zipf_ranked, ZipfFit};
-use mobilenet_traffic::{Category, Direction};
+use mobilenet_traffic::{Category, Direction, ServiceSpec, TrafficDataset};
 
 use crate::study::Study;
 
@@ -76,11 +76,20 @@ pub struct ServiceRanking {
 
 /// Computes Figure 3 for one direction.
 pub fn service_ranking(study: &Study, dir: Direction) -> ServiceRanking {
-    let ds = study.dataset();
+    service_ranking_of(study.dataset(), study.catalog().head(), dir)
+}
+
+/// [`service_ranking`] over a bare dataset — for consumers holding a
+/// [`TrafficDataset`] without a [`Study`] (live snapshots, replayed
+/// traces). `head` is the head of the service catalog the dataset was
+/// aggregated under; answers are bit-identical to the study-based path.
+pub fn service_ranking_of(
+    ds: &TrafficDataset,
+    head: &[ServiceSpec],
+    dir: Direction,
+) -> ServiceRanking {
     let total = ds.total(dir).max(f64::MIN_POSITIVE);
-    let mut services: Vec<ServiceShare> = study
-        .catalog()
-        .head()
+    let mut services: Vec<ServiceShare> = head
         .iter()
         .enumerate()
         .map(|(s, spec)| ServiceShare {
@@ -104,6 +113,66 @@ pub fn service_ranking(study: &Study, dir: Direction) -> ServiceRanking {
         head_share,
         unclassified_share: ds.unclassified(dir) / total,
     }
+}
+
+/// The top `k` head services by share, without ranking the whole head —
+/// the streaming-query variant of [`service_ranking_of`].
+///
+/// Selection runs over a bounded binary heap (O(S·log k) instead of the
+/// full O(S·log S) sort), but the returned prefix is **identical** — same
+/// order, same shares — to `service_ranking_of(..).services[..k]`: ties
+/// break exactly like the full sort's `partial_cmp` (stable over catalog
+/// order) because candidates are pushed in catalog order and compared
+/// with the same ordering.
+pub fn top_k_services(
+    ds: &TrafficDataset,
+    head: &[ServiceSpec],
+    dir: Direction,
+    k: usize,
+) -> Vec<ServiceShare> {
+    let total = ds.total(dir).max(f64::MIN_POSITIVE);
+    let k = k.min(head.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current top k, keyed by (share, Reverse(index)) so
+    // the heap's minimum is the entry the full descending sort would
+    // place last: lower share loses, and on exactly equal shares the
+    // *higher* catalog index loses (a stable descending sort keeps
+    // earlier indices first).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq)]
+    struct Key(f64, Reverse<usize>);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::with_capacity(k + 1);
+    for (s, _spec) in head.iter().enumerate() {
+        let share = ds.national_weekly(dir, s) / total;
+        heap.push(Reverse(Key(share, Reverse(s))));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut top: Vec<Key> = heap.into_iter().map(|Reverse(key)| key).collect();
+    top.sort_by(|a, b| b.cmp(a));
+    top.into_iter()
+        .map(|Key(share, Reverse(s))| ServiceShare {
+            service: s,
+            name: head[s].name,
+            category: head[s].category,
+            share_of_total: share,
+        })
+        .collect()
 }
 
 /// §3's headline aggregate: uplink volume as a fraction of the total
@@ -192,6 +261,37 @@ mod tests {
         // Paper: less than one twentieth.
         assert!(f < 0.08, "uplink fraction {f}");
         assert!(f > 0.01, "uplink should not vanish: {f}");
+    }
+
+    #[test]
+    fn top_k_is_the_exact_prefix_of_the_full_ranking() {
+        let s = study();
+        for dir in [Direction::Down, Direction::Up] {
+            let full = service_ranking(s, dir);
+            for k in [0usize, 1, 3, 5, 20, 25] {
+                let top = top_k_services(s.dataset(), s.catalog().head(), dir, k);
+                let want = k.min(full.services.len());
+                assert_eq!(top.len(), want);
+                for (a, b) in top.iter().zip(full.services.iter()) {
+                    assert_eq!(a.service, b.service, "k={k}");
+                    assert_eq!(a.name, b.name);
+                    assert_eq!(a.share_of_total, b.share_of_total, "bitwise share");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_level_ranking_matches_the_study_path() {
+        let s = study();
+        let via_study = service_ranking(s, Direction::Down);
+        let via_dataset = service_ranking_of(s.dataset(), s.catalog().head(), Direction::Down);
+        assert_eq!(via_study.head_share, via_dataset.head_share);
+        assert_eq!(via_study.services.len(), via_dataset.services.len());
+        for (a, b) in via_study.services.iter().zip(via_dataset.services.iter()) {
+            assert_eq!(a.service, b.service);
+            assert_eq!(a.share_of_total, b.share_of_total);
+        }
     }
 
     #[test]

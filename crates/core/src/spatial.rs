@@ -11,7 +11,7 @@
 //!   iCloud as outliers (Figure 10).
 
 use mobilenet_timeseries::stats::{concentration_curve, r_squared, share_of_top, Ecdf};
-use mobilenet_traffic::Direction;
+use mobilenet_traffic::{Direction, TrafficDataset};
 
 use crate::study::Study;
 
@@ -100,9 +100,21 @@ impl SpatialCorrelation {
 /// Communes with no subscribers are excluded from every pair (they carry
 /// no signal, only zeros that would inflate correlations).
 pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation {
+    spatial_correlation_of(study.dataset(), study.service_names(), dir)
+}
+
+/// [`spatial_correlation`] over a bare dataset — the entry point for
+/// consumers that hold a [`TrafficDataset`] without a [`Study`] around it
+/// (live snapshots, replayed traces). `names` are the head-service names
+/// in dataset order; answers are bit-identical to the study-based path on
+/// the same dataset.
+pub fn spatial_correlation_of(
+    ds: &TrafficDataset,
+    names: Vec<&'static str>,
+    dir: Direction,
+) -> SpatialCorrelation {
     let _span = mobilenet_obs::span("spatial_r2");
-    let ds = study.dataset();
-    let n = study.catalog().head().len();
+    let n = names.len();
     let users = ds.commune_users();
     let keep: Vec<usize> = (0..ds.n_communes()).filter(|&c| users[c] > 0.0).collect();
     let vectors: Vec<Vec<f64>> = (0..n)
@@ -130,12 +142,88 @@ pub fn spatial_correlation(study: &Study, dir: Direction) -> SpatialCorrelation 
         matrix[j][i] = r2;
     }
     let mean_r2 = pair_values.iter().sum::<f64>() / pair_values.len().max(1) as f64;
-    SpatialCorrelation {
-        direction: dir,
-        names: study.catalog().head().iter().map(|s| s.name).collect(),
-        matrix,
-        pair_values,
-        mean_r2,
+    SpatialCorrelation { direction: dir, names, matrix, pair_values, mean_r2 }
+}
+
+/// Mergeable sufficient statistics of one (x, y) pair — the incremental
+/// building block behind streaming pairwise r².
+///
+/// Holds the five raw moments (`Σx`, `Σy`, `Σx²`, `Σy²`, `Σxy`) plus the
+/// count, so partial accumulators over disjoint observation sets
+/// [`merge`](PairAccumulator::merge) into the statistics of the union.
+/// The derived [`r_squared`](PairAccumulator::r_squared) agrees with the
+/// batch [`r_squared`](mobilenet_timeseries::stats::r_squared) up to
+/// floating-point accumulation order (merging reorders the additions, so
+/// equality is to ~1e-12, not bitwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub struct PairAccumulator {
+    /// Observations folded in.
+    pub n: u64,
+    /// `Σx`.
+    pub sx: f64,
+    /// `Σy`.
+    pub sy: f64,
+    /// `Σx²`.
+    pub sxx: f64,
+    /// `Σy²`.
+    pub syy: f64,
+    /// `Σxy`.
+    pub sxy: f64,
+}
+
+impl PairAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        PairAccumulator::default()
+    }
+
+    /// Folds one paired observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    /// The accumulator of two paired slices (panics if lengths differ).
+    pub fn from_slices(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "paired slices must have equal length");
+        let mut acc = PairAccumulator::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            acc.push(x, y);
+        }
+        acc
+    }
+
+    /// Folds another accumulator (over a disjoint observation set) in.
+    pub fn merge(&mut self, other: &PairAccumulator) {
+        self.n += other.n;
+        self.sx += other.sx;
+        self.sy += other.sy;
+        self.sxx += other.sxx;
+        self.syy += other.syy;
+        self.sxy += other.sxy;
+    }
+
+    /// The squared Pearson correlation of everything folded in so far;
+    /// 0.0 when either marginal is constant (no signal to correlate).
+    pub fn r_squared(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let cov = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        if vx <= 0.0 || vy <= 0.0 {
+            return 0.0;
+        }
+        let r = cov / (vx * vy).sqrt();
+        r * r
     }
 }
 
@@ -325,6 +413,63 @@ mod tests {
         // Constant fields are defined as zero.
         let constant = vec![3.0; country.communes().len()];
         assert_eq!(morans_i(country, &constant, 6), 0.0);
+    }
+
+    #[test]
+    fn dataset_level_correlation_matches_the_study_path() {
+        let s = study();
+        let via_study = spatial_correlation(s, Direction::Down);
+        let via_dataset =
+            spatial_correlation_of(s.dataset(), s.service_names(), Direction::Down);
+        assert_eq!(via_study.pair_values, via_dataset.pair_values);
+        assert_eq!(via_study.names, via_dataset.names);
+        assert_eq!(via_study.mean_r2, via_dataset.mean_r2);
+    }
+
+    #[test]
+    fn pair_accumulator_agrees_with_batch_r_squared() {
+        let s = expected();
+        let ds = s.dataset();
+        let xs = ds.per_user_commune_vector(Direction::Down, 0);
+        let ys = ds.per_user_commune_vector(Direction::Down, 1);
+        let keep: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        let (kx, ky): (Vec<f64>, Vec<f64>) = keep.into_iter().unzip();
+        let batch = r_squared(&kx, &ky);
+        let acc = PairAccumulator::from_slices(&kx, &ky);
+        assert!(
+            (acc.r_squared() - batch).abs() < 1e-9,
+            "incremental {} vs batch {batch}",
+            acc.r_squared()
+        );
+    }
+
+    #[test]
+    fn pair_accumulator_merge_is_the_statistics_of_the_union() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() + i as f64 / 50.0).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64).cos() + i as f64 / 30.0).collect();
+        let whole = PairAccumulator::from_slices(&xs, &ys);
+        let mut merged = PairAccumulator::from_slices(&xs[..37], &ys[..37]);
+        merged.merge(&PairAccumulator::from_slices(&xs[37..], &ys[37..]));
+        assert_eq!(merged.n, whole.n);
+        // Merging reorders the floating-point additions, so agreement is
+        // to tolerance, not bitwise.
+        assert!((merged.r_squared() - whole.r_squared()).abs() < 1e-12);
+        assert!((merged.sxy - whole.sxy).abs() < 1e-9 * whole.sxy.abs().max(1.0));
+    }
+
+    #[test]
+    fn pair_accumulator_degenerate_inputs_are_zero() {
+        assert_eq!(PairAccumulator::new().r_squared(), 0.0);
+        let mut one = PairAccumulator::new();
+        one.push(1.0, 2.0);
+        assert_eq!(one.r_squared(), 0.0);
+        let constant = PairAccumulator::from_slices(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(constant.r_squared(), 0.0, "constant marginal has no signal");
     }
 
     #[test]

@@ -110,6 +110,18 @@ impl StudyConfig {
             .chunk_size(self.chunk_size)
             .fold_strategy(self.fold)
     }
+
+    /// Builds the demand model this configuration describes — country,
+    /// catalog and workload — without collecting anything. Deterministic
+    /// in `(config, seed)` and identical to the model a full
+    /// [`Pipeline`](crate::Pipeline) run constructs, so records streamed
+    /// from it (e.g. by the live aggregation service) are bit-identical
+    /// to what batch collection aggregates.
+    pub fn demand_model(&self, seed: u64) -> DemandModel {
+        let country = Arc::new(Country::generate(&self.country, seed));
+        let catalog = Arc::new(ServiceCatalog::standard(self.traffic.n_tail_services));
+        DemandModel::new(country, catalog, self.traffic.clone(), seed)
+    }
 }
 
 /// An assembled study: geography + catalog + one week of aggregated
@@ -124,18 +136,8 @@ pub struct Study {
 }
 
 impl Study {
-    /// Generates a study end-to-end; deterministic in `(config, seed)`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pipeline::builder()` (`mobilenet_core::Pipeline`), which validates the \
-                configuration and returns a typed error instead of panicking"
-    )]
-    pub fn generate(config: &StudyConfig, seed: u64) -> Self {
-        Study::generate_inner(config, seed)
-    }
-
-    /// The generation body behind both [`Study::generate`] and the
-    /// [`Pipeline`](crate::Pipeline) builder. Deterministic in
+    /// The generation body behind the [`Pipeline`](crate::Pipeline)
+    /// builder. Deterministic in
     /// `(config, seed)`; records the `generate/{country,demand_model,…}`
     /// span tree when observability is enabled.
     pub(crate) fn generate_inner(config: &StudyConfig, seed: u64) -> Self {

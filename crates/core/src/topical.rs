@@ -177,6 +177,20 @@ pub fn topical_profiles(
     dir: Direction,
     config: &PeakConfig,
 ) -> Vec<ServiceTopicalProfile> {
+    topical_profiles_of(study.dataset(), study.service_names(), dir, config)
+}
+
+/// [`topical_profiles`] over a bare dataset — for consumers holding a
+/// [`TrafficDataset`](mobilenet_traffic::TrafficDataset) without a
+/// [`Study`] (live snapshots, replayed traces). `names` are the
+/// head-service names in dataset order; answers are bit-identical to the
+/// study-based path on the same dataset.
+pub fn topical_profiles_of(
+    ds: &mobilenet_traffic::TrafficDataset,
+    names: Vec<&'static str>,
+    dir: Direction,
+    config: &PeakConfig,
+) -> Vec<ServiceTopicalProfile> {
     // Profiling is a pure function of each service's own series, so the
     // ~catalog-sized loop parallelizes service-by-service — but each item
     // is only a few window scans over one week of hours, so a worker must
@@ -184,11 +198,10 @@ pub fn topical_profiles(
     // services were measured running 4× *slower* split across threads
     // than inline; `BENCH_baseline.json` peaks speedup 0.24×).
     let _span = mobilenet_obs::span("topical_peaks");
-    let head = study.catalog().head();
-    mobilenet_obs::add("core.topical_services", head.len() as u64);
-    mobilenet_par::par_map_collect_min(head.len(), PEAKS_MIN_ITEMS_PER_WORKER, |s| {
-        let series = study.dataset().national_series(dir, s);
-        profile_service(series, s, head[s].name, config)
+    mobilenet_obs::add("core.topical_services", names.len() as u64);
+    mobilenet_par::par_map_collect_min(names.len(), PEAKS_MIN_ITEMS_PER_WORKER, |s| {
+        let series = ds.national_series(dir, s);
+        profile_service(series, s, names[s], config)
     })
 }
 

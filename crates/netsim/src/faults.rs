@@ -6,8 +6,8 @@
 //! and trace files arrive with mangled lines. A [`FaultPlan`] models those
 //! imperfections as a deterministic, seedable transformation applied
 //! **between [`Probe::observe`](crate::Probe::observe) and aggregation**,
-//! so [`collect_with_faults`](crate::pipeline::collect_with_faults),
-//! [`observe_sessions_with_faults`](crate::trace::observe_sessions_with_faults)
+//! so [`collect_with_options`](crate::pipeline::collect_with_options),
+//! [`observe_with_options`](crate::trace::observe_with_options)
 //! and a replay of the captured trace all see the exact same degraded
 //! record stream.
 //!

@@ -79,7 +79,12 @@ const BATCH_RECORDS_EDGES: [f64; 8] =
 /// [`collect_with_options`](crate::pipeline::collect_with_options),
 /// [`observe_with_options`](crate::trace::observe_with_options) and
 /// [`ingest`].
+///
+/// `#[non_exhaustive]`: construct via [`CollectOptions::default`] (or
+/// [`CollectOptions::with_faults`]) and the builder-style setters so new
+/// knobs stay non-breaking.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CollectOptions {
     /// Capture-path fault plan ([`FaultPlan::none`] reproduces the
     /// historical benign apparatus bit for bit).
@@ -184,7 +189,12 @@ impl From<DatasetError> for IngestError {
 
 /// What the streaming engine did: chunk, record and byte accounting of
 /// one ingestion run.
+///
+/// `#[non_exhaustive]`: engines construct it internally; downstream code
+/// reads fields (or starts from [`IngestStats::default`]) so new
+/// accounting fields stay non-breaking.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IngestStats {
     /// Chunks flushed through the engine (deterministic: per-shard chunk
     /// boundaries depend only on the record stream and `chunk_size`).
@@ -195,8 +205,10 @@ pub struct IngestStats {
     /// flush points. Always ≤ `chunk_size × workers`, by construction;
     /// scheduling-dependent (more workers → more concurrent residency).
     pub peak_resident_records: u64,
-    /// Bytes read from external storage (0 for synthetic and in-memory
-    /// sources).
+    /// Bytes the source delivered: storage bytes for trace sources,
+    /// `records × size_of::<SessionRecord>()` logical bytes for synthetic
+    /// and in-memory sources — every source reports a non-zero throughput
+    /// denominator once it has streamed records.
     pub bytes_read: u64,
     /// The records-per-chunk budget the run used.
     pub chunk_size: usize,
@@ -309,11 +321,83 @@ pub trait RecordSource: Sync {
         sink: &mut ChunkSink<'_>,
     ) -> Result<(), IngestError>;
 
-    /// Bytes this source has read from external storage so far (for
-    /// `netsim.ingest.bytes_read`); 0 for in-memory/synthetic sources.
+    /// Bytes this source has delivered so far (for
+    /// `netsim.ingest.bytes_read`): storage bytes read for file-backed
+    /// sources, logical record bytes
+    /// (`records × size_of::<SessionRecord>()`) for synthetic and
+    /// in-memory sources. The default is 0 only for sources with nothing
+    /// streamed yet.
     fn bytes_read(&self) -> u64 {
         0
     }
+}
+
+/// Shared chunk/record/residency accounting of one *logical* ingestion
+/// run driven shard-by-shard through [`stream_shard_chunked`] — the
+/// external counterpart of the ledger [`ingest`] threads through its
+/// [`ChunkSink`]s internally.
+///
+/// One meter spans every shard of a run (including shards streamed
+/// concurrently from different workers), so `peak_resident_records` is
+/// sampled globally exactly like the batch engine's.
+#[derive(Debug, Default)]
+pub struct IngestMeter {
+    ledger: IngestLedger,
+}
+
+impl IngestMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        IngestMeter::default()
+    }
+
+    /// Snapshot of the accounting so far as an [`IngestStats`].
+    ///
+    /// `chunk_size`/`workers` describe the run configuration and
+    /// `bytes_read` comes from the source ([`RecordSource::bytes_read`]);
+    /// the meter itself tracks chunks, records and peak residency.
+    pub fn stats(&self, chunk_size: usize, workers: usize, bytes_read: u64) -> IngestStats {
+        IngestStats {
+            chunks: self.ledger.chunks.load(Ordering::Relaxed),
+            records: self.ledger.records.load(Ordering::Relaxed),
+            peak_resident_records: self.ledger.peak_resident.load(Ordering::SeqCst),
+            bytes_read,
+            chunk_size,
+            workers,
+        }
+    }
+}
+
+/// Streams **one shard** of `source` through a bounded [`ChunkSink`],
+/// handing each flushed [`RecordBatch`] to `consume` — the building block
+/// for drivers that schedule shards themselves (the live aggregation
+/// service) instead of letting [`ingest`] fan out over the ambient pool.
+///
+/// Determinism: batches arrive in stream order with flush boundaries
+/// decided only by the record stream and `chunk_size`, so folding them in
+/// arrival order reproduces the batch engine's per-shard partial bit for
+/// bit. At most `chunk_size` records of this shard are resident at any
+/// point.
+pub fn stream_shard_chunked<S, F>(
+    source: &S,
+    shard: usize,
+    chunk_size: usize,
+    meter: &IngestMeter,
+    stats: &mut CollectionStats,
+    mut consume: F,
+) -> Result<(), IngestError>
+where
+    S: RecordSource + ?Sized,
+    F: FnMut(&mut RecordBatch),
+{
+    if chunk_size == 0 {
+        return Err(IngestError::Config("chunk_size must be at least 1 record".into()));
+    }
+    let mut consume_dyn = |batch: &mut RecordBatch| consume(batch);
+    let mut sink = ChunkSink::new(chunk_size, &meter.ledger, &mut consume_dyn);
+    let streamed = source.stream_shard(shard, stats, &mut sink);
+    sink.flush();
+    streamed
 }
 
 /// Runs the chunked sharded aggregation: streams every shard of `source`
@@ -476,6 +560,14 @@ impl RecordSource for SliceSource<'_> {
             sink.push(record);
         }
         Ok(())
+    }
+
+    /// Logical bytes of the backing slice. Reported statically (rather
+    /// than accumulated per stream) so that replaying the same source
+    /// twice — e.g. a bench warm-up pass before the timed pass — does not
+    /// double-count.
+    fn bytes_read(&self) -> u64 {
+        std::mem::size_of_val(self.records) as u64
     }
 }
 

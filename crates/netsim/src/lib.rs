@@ -56,16 +56,15 @@ pub use classifier::{DpiClassifier, UNCLASSIFIED_CODE};
 pub use config::NetsimConfig;
 pub use faults::{FaultInjector, FaultPlan, FaultStats, OutageWindow};
 pub use ingest::{
-    ingest, ChunkSink, CollectOptions, FoldStrategy, IngestError, IngestStats, RecordSource,
-    SliceSource, TraceSource, DEFAULT_CHUNK_SIZE,
+    ingest, stream_shard_chunked, ChunkSink, CollectOptions, FoldStrategy, IngestError,
+    IngestMeter, IngestStats, RecordSource, SliceSource, TraceSource, DEFAULT_CHUNK_SIZE,
 };
-#[allow(deprecated)]
-pub use pipeline::{collect, collect_with_faults};
-pub use pipeline::{aggregate_batch, collect_with_options, CollectionOutput, CollectionStats};
+pub use pipeline::{
+    aggregate_batch, collect_with_options, Capture, CollectionOutput, CollectionStats,
+    SyntheticSource,
+};
 pub use probe::Probe;
 pub use radio::RadioNetwork;
-#[allow(deprecated)]
-pub use trace::{observe_sessions, observe_sessions_with_faults};
 pub use trace::{
     observe_with_options, read_trace_from, read_trace_from_lossy, replay, replay_from,
     replay_lossy, trace_from_csv, trace_from_csv_lossy, trace_to_csv, trace_to_csv_faulty,

@@ -14,6 +14,8 @@
 //! Output is therefore bit-identical at any thread count (including a
 //! serial run) and at any chunk size.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,7 +23,7 @@ use mobilenet_traffic::{DemandModel, Direction, SessionGenerator, TrafficDataset
 
 use crate::classifier::{DpiClassifier, ServiceLabel, UNCLASSIFIED_CODE};
 use crate::config::NetsimConfig;
-use crate::faults::{FaultInjector, FaultPlan, FaultStats};
+use crate::faults::{FaultInjector, FaultStats};
 use crate::ingest::{
     aggregate_source, ChunkSink, CollectOptions, FoldStrategy, IngestError, IngestStats,
     RecordSource,
@@ -51,7 +53,7 @@ pub struct CollectionStats {
     /// Sampled localization errors, km (every 16th session of each shard).
     pub sampled_errors_km: Vec<f64>,
     /// Degradation inflicted by the fault plan (all-zero when collecting
-    /// with [`FaultPlan::none`]).
+    /// with [`FaultPlan::none`](crate::faults::FaultPlan::none)).
     pub faults: FaultStats,
     /// Malformed trace lines skipped by a lossy replay (zero on the
     /// direct collection path).
@@ -121,8 +123,8 @@ pub struct CollectionOutput {
 /// Builds the read-only capture apparatus of a run: radio network, DPI
 /// tables, and the per-commune ULI movement directions (train passengers'
 /// fixes displace along the rail; everyone else scatters isotropically).
-/// Shared by [`collect`] and the trace capture path so both observe the
-/// exact same records.
+/// Shared by [`collect_with_options`] and the trace capture path so both
+/// observe the exact same records.
 pub(crate) fn build_capture(
     model: &DemandModel,
     config: &NetsimConfig,
@@ -161,7 +163,8 @@ pub(crate) fn probe_shard_rng(seed: u64, shard: usize) -> StdRng {
 
 /// Classifies one (possibly degraded) record and folds it into the shard's
 /// partial dataset and diagnostics. Shared by the fault-free and faulted
-/// paths so a [`FaultPlan::none`] collection is bit-identical to one that
+/// paths so a [`FaultPlan::none`](crate::faults::FaultPlan::none)
+/// collection is bit-identical to one that
 /// never touched the fault layer.
 fn aggregate_record(
     record: &SessionRecord,
@@ -283,17 +286,82 @@ pub fn aggregate_batch(
     }
 }
 
+/// The owned capture apparatus of a run: radio network, DPI tables,
+/// ULI movement directions and the measurement configuration — what
+/// [`collect_with_options`] deploys internally, split out so long-running
+/// consumers (the live aggregation service) can build it once and stream
+/// the synthetic demand through it shard by shard.
+///
+/// Deterministic in `(model, config, seed)`: the apparatus — and every
+/// record a [`SyntheticSource`] derived from it emits — is bit-identical
+/// to what a batch collection with the same inputs observes.
+pub struct Capture {
+    radio: RadioNetwork,
+    classifier: DpiClassifier,
+    directions: Vec<Option<(f64, f64)>>,
+    config: NetsimConfig,
+}
+
+impl Capture {
+    /// Deploys the apparatus for `model` under `config`; fails on an
+    /// invalid configuration instead of panicking.
+    pub fn build(
+        model: &DemandModel,
+        config: &NetsimConfig,
+        seed: u64,
+    ) -> Result<Capture, String> {
+        config.validate()?;
+        let (radio, classifier, directions) = build_capture(model, config, seed);
+        Ok(Capture { radio, classifier, directions, config: config.clone() })
+    }
+
+    /// The DPI stage of this apparatus — the classifier every aggregation
+    /// fold over its records must use.
+    pub fn classifier(&self) -> &DpiClassifier {
+        &self.classifier
+    }
+
+    /// The synthetic week observed through this apparatus as a
+    /// [`RecordSource`]: one shard per head service, each streaming
+    /// `sessions → probe → (faults) → records` — exactly the stream
+    /// [`collect_with_options`] aggregates for the same
+    /// `(model, config, options, seed)`.
+    pub fn source<'a>(
+        &'a self,
+        model: &'a DemandModel,
+        options: &'a CollectOptions,
+        seed: u64,
+    ) -> SyntheticSource<'a> {
+        let probe = Probe::new(&self.radio, UliModel::new(&self.config), &self.classifier)
+            .with_movement_directions(self.directions.clone());
+        SyntheticSource {
+            generator: SessionGenerator::new(model, seed),
+            probe,
+            injector: FaultInjector::new(&options.faults),
+            country: model.country(),
+            seed,
+            faulted: !options.faults.is_none(),
+            bytes: AtomicU64::new(0),
+        }
+    }
+}
+
 /// The synthetic demand model as a [`RecordSource`]: one shard per head
 /// service, each streaming `sessions → probe → (faults) → records` from
 /// seed-derived RNG streams — exactly the record stream the historical
 /// materialized `collect` aggregated, now pushed through bounded chunks.
-struct SyntheticSource<'a> {
+/// Built via [`Capture::source`].
+pub struct SyntheticSource<'a> {
     generator: SessionGenerator<'a>,
     probe: Probe<'a>,
     injector: FaultInjector<'a>,
     country: &'a mobilenet_geo::Country,
     seed: u64,
     faulted: bool,
+    /// Logical bytes delivered to sinks so far (`records ×
+    /// size_of::<SessionRecord>()`); a synthetic source reads no storage,
+    /// but live health reporting still wants a throughput denominator.
+    bytes: AtomicU64,
 }
 
 impl RecordSource for SyntheticSource<'_> {
@@ -310,6 +378,7 @@ impl RecordSource for SyntheticSource<'_> {
         let mut probe_rng = probe_shard_rng(self.seed, shard);
         let mut fault_rng = self.injector.shard_rng(self.seed, shard);
         let mut fault_stats = FaultStats::default();
+        let mut delivered = 0u64;
         self.generator.generate_shard(shard, |session| {
             let record = self.probe.observe(session, &mut probe_rng);
             stats.sessions += 1;
@@ -333,14 +402,24 @@ impl RecordSource for SyntheticSource<'_> {
             }
             if self.faulted {
                 self.injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {
+                    delivered += 1;
                     sink.push(degraded);
                 });
             } else {
+                delivered += 1;
                 sink.push(&record);
             }
         });
         stats.faults = fault_stats;
+        self.bytes.fetch_add(
+            delivered * std::mem::size_of::<SessionRecord>() as u64,
+            Ordering::Relaxed,
+        );
         Ok(())
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -369,26 +448,15 @@ pub fn collect_with_options(
     options: &CollectOptions,
     seed: u64,
 ) -> Result<CollectionOutput, IngestError> {
-    config.validate().map_err(IngestError::Config)?;
     options.validate().map_err(IngestError::Config)?;
     let _collect_span = mobilenet_obs::span("collect");
     let country = model.country();
     let catalog = model.catalog();
     let capture_span = mobilenet_obs::span("capture");
-    let (radio, classifier, directions) = build_capture(model, config, seed);
-    let probe = Probe::new(&radio, UliModel::new(config), &classifier)
-        .with_movement_directions(directions);
-    let generator = SessionGenerator::new(model, seed);
+    let capture = Capture::build(model, config, seed).map_err(IngestError::Config)?;
+    let source = capture.source(model, options, seed);
     drop(capture_span);
 
-    let source = SyntheticSource {
-        generator,
-        probe,
-        injector: FaultInjector::new(&options.faults),
-        country,
-        seed,
-        faulted: !options.faults.is_none(),
-    };
     let new_dataset = || {
         TrafficDataset::new(
             country,
@@ -399,7 +467,7 @@ pub fn collect_with_options(
     };
     let (mut dataset, stats, ingest) =
         aggregate_source(&source, options.chunk_size, new_dataset, |batch, ds, st| {
-            aggregate_batch(batch, &classifier, options.fold, false, ds, st)
+            aggregate_batch(batch, capture.classifier(), options.fold, false, ds, st)
         })?;
 
     // Tail services: their national weekly totals come straight from the
@@ -409,28 +477,6 @@ pub fn collect_with_options(
     record_collection_metrics(&stats, source.faulted);
 
     Ok(CollectionOutput { dataset, stats, ingest })
-}
-
-/// Runs the full measurement pipeline with default options; panics on an
-/// invalid `config` (the `Pipeline::builder()` entry point validates up
-/// front instead).
-#[deprecated(note = "use collect_with_options(model, config, &CollectOptions::default(), seed)")]
-pub fn collect(model: &DemandModel, config: &NetsimConfig, seed: u64) -> CollectionOutput {
-    collect_with_options(model, config, &CollectOptions::default(), seed)
-        .expect("invalid NetsimConfig")
-}
-
-/// Like [`collect`], but degrades the record stream through `faults`
-/// between probe observation and aggregation.
-#[deprecated(note = "use collect_with_options(model, config, &CollectOptions::with_faults(plan), seed)")]
-pub fn collect_with_faults(
-    model: &DemandModel,
-    config: &NetsimConfig,
-    faults: &FaultPlan,
-    seed: u64,
-) -> Result<CollectionOutput, String> {
-    collect_with_options(model, config, &CollectOptions::with_faults(faults.clone()), seed)
-        .map_err(|e| e.to_string())
 }
 
 /// Bucket edges (km) of the `netsim.uli_error_km` displacement histogram:
@@ -583,16 +629,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_unified_entry_point() {
-        // The thin `collect`/`collect_with_faults` shims and an explicit
-        // no-fault `CollectOptions` all land on the same bits.
+    fn explicit_no_fault_options_match_the_default_entry_point() {
+        // An explicit no-fault `CollectOptions` lands on the same bits as
+        // the default options path.
         let m = model();
         let cfg = NetsimConfig::standard();
         let plain = run(&m, &cfg, 12);
-        let wrapped = collect(&m, &cfg, 12);
-        let faultless = collect_with_faults(&m, &cfg, &crate::FaultPlan::none(), 12).unwrap();
-        assert_eq!(plain.dataset.to_csv(), wrapped.dataset.to_csv());
+        let opts = CollectOptions::with_faults(crate::FaultPlan::none());
+        let faultless = collect_with_options(&m, &cfg, &opts, 12).unwrap();
         assert_eq!(plain.dataset.to_csv(), faultless.dataset.to_csv());
         assert_eq!(plain.stats.sessions, faultless.stats.sessions);
         assert_eq!(plain.stats.classified_mb, faultless.stats.classified_mb);
@@ -670,7 +714,12 @@ mod tests {
                 out.ingest.resident_budget()
             );
             assert_eq!(out.ingest.records, out.stats.gn_records + out.stats.s5s8_records);
-            assert_eq!(out.ingest.bytes_read, 0, "synthetic source reads no storage");
+            let record_bytes = std::mem::size_of::<SessionRecord>() as u64;
+            assert_eq!(
+                out.ingest.bytes_read,
+                out.ingest.records * record_bytes,
+                "synthetic sources account delivered records as bytes"
+            );
             assert!(out.ingest.chunks >= 1);
         }
     }

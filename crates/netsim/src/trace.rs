@@ -104,30 +104,6 @@ pub fn observe_with_options(
     Ok(summary)
 }
 
-/// Fault-free capture; returns the number of sessions observed.
-#[deprecated(note = "use observe_with_options(model, config, &CollectOptions::default(), seed, sink)")]
-pub fn observe_sessions(
-    model: &DemandModel,
-    config: &NetsimConfig,
-    seed: u64,
-    sink: impl FnMut(&SessionRecord),
-) -> Result<u64, String> {
-    observe_with_options(model, config, &CollectOptions::default(), seed, sink)
-        .map(|summary| summary.sessions)
-}
-
-/// Capture degraded through `faults`.
-#[deprecated(note = "use observe_with_options(model, config, &CollectOptions::with_faults(plan), seed, sink)")]
-pub fn observe_sessions_with_faults(
-    model: &DemandModel,
-    config: &NetsimConfig,
-    faults: &FaultPlan,
-    seed: u64,
-    sink: impl FnMut(&SessionRecord),
-) -> Result<CaptureSummary, String> {
-    observe_with_options(model, config, &CollectOptions::with_faults(faults.clone()), seed, sink)
-}
-
 /// Serializes one record as a CSV line (no trailing newline).
 pub fn record_to_line(r: &SessionRecord) -> String {
     format!(
@@ -778,27 +754,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_observe_wrappers_match_the_unified_entry_point() {
+    fn faulted_capture_summary_accounts_for_the_degradation() {
         let m = model();
         let cfg = NetsimConfig::standard();
         let via_options = capture(&m, &cfg, 17);
-        let mut via_wrapper = Vec::new();
-        let n = observe_sessions(&m, &cfg, 17, |r| via_wrapper.push(r.clone())).unwrap();
-        assert_eq!(via_options, via_wrapper);
         let plan = FaultPlan::degraded(3);
-        let mut faulted_wrapper = Vec::new();
+        let mut faulted = Vec::new();
         let summary =
-            observe_sessions_with_faults(&m, &cfg, &plan, 17, |r| {
-                faulted_wrapper.push(r.clone())
+            observe_with_options(&m, &cfg, &CollectOptions::with_faults(plan), 17, |r| {
+                faulted.push(r.clone())
             })
             .unwrap();
-        assert_eq!(summary.sessions, n);
-        let mut faulted_options = Vec::new();
-        observe_with_options(&m, &cfg, &CollectOptions::with_faults(plan), 17, |r| {
-            faulted_options.push(r.clone())
-        })
-        .unwrap();
-        assert_eq!(faulted_options, faulted_wrapper);
+        assert_eq!(summary.sessions, via_options.len() as u64);
+        assert_eq!(summary.emitted, faulted.len() as u64);
+        assert_eq!(
+            summary.emitted,
+            summary.sessions - summary.faults.lost_total() + summary.faults.duplicated_records
+        );
+        assert!(summary.faults.any());
     }
 }

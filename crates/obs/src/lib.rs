@@ -299,6 +299,31 @@ mod tests {
     }
 
     #[test]
+    fn filtered_snapshot_keeps_only_matching_prefixes() {
+        with_global_obs(|| {
+            add("serve.queries", 3);
+            add("serve.connections", 1);
+            add("netsim.ingest.records", 100);
+            add("core.r2_pairs", 190);
+            gauge("serve.watermark_hour", 42.0);
+            gauge("par.threads", 8.0);
+            drop(span("serve"));
+            drop(span("collect"));
+            let snap = snapshot();
+            let health = snap.filtered(&["serve.", "netsim.ingest.", "serve"]);
+            assert_eq!(health.counter("serve.queries"), Some(3));
+            assert_eq!(health.counter("netsim.ingest.records"), Some(100));
+            assert_eq!(health.counter("core.r2_pairs"), None);
+            assert_eq!(health.gauge("serve.watermark_hour"), Some(42.0));
+            assert_eq!(health.gauge("par.threads"), None);
+            assert!(health.span("serve").is_some());
+            assert!(health.span("collect").is_none());
+            // Filtering an already-filtered snapshot is idempotent.
+            assert_eq!(health.filtered(&["serve.", "netsim.ingest.", "serve"]), health);
+        });
+    }
+
+    #[test]
     fn counter_and_histogram_merge_is_count_exact_at_1_2_8_threads() {
         // The contract the parallel pipeline relies on: u64 counters and
         // histogram bucket counts are exact sums, independent of how many

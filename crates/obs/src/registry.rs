@@ -213,6 +213,26 @@ impl Snapshot {
         self.histograms.get(name)
     }
 
+    /// The subset of this snapshot whose metric names (and span paths)
+    /// start with any of `prefixes` — how a service carves its own
+    /// namespace (e.g. `serve.*` + `netsim.ingest.*`) out of the global
+    /// registry for a health endpoint.
+    pub fn filtered(&self, prefixes: &[&str]) -> Snapshot {
+        fn keep<V: Clone>(map: &BTreeMap<String, V>, prefixes: &[&str]) -> BTreeMap<String, V> {
+            map.iter()
+                .filter(|(k, _)| prefixes.iter().any(|p| k.starts_with(p)))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        }
+        Snapshot {
+            spans: keep(&self.spans, prefixes),
+            counters: keep(&self.counters, prefixes),
+            fcounters: keep(&self.fcounters, prefixes),
+            gauges: keep(&self.gauges, prefixes),
+            histograms: keep(&self.histograms, prefixes),
+        }
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()

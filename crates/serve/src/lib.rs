@@ -1,0 +1,43 @@
+//! Always-on analytics over the mobilenet streaming engine.
+//!
+//! The batch pipeline answers questions after a full week has been
+//! collected; this crate answers them **while** the week streams.
+//! [`LiveState`] consumes an unbounded
+//! [`RecordSource`](mobilenet_netsim::RecordSource) through the same
+//! chunked, bounded-memory machinery as
+//! [`collect_with_options`](mobilenet_netsim::collect_with_options),
+//! maintaining per-shard partial aggregates, an observed-frontier
+//! watermark and a monotone state version. [`LiveState::snapshot`]
+//! materialises a consistent [`LiveSnapshot`] at any moment; once
+//! ingestion completes the snapshot is bit-identical to the batch
+//! output on the same `(config, seed)` at any thread count and under
+//! any fault plan.
+//!
+//! [`spawn_server`] exposes snapshots over a small TCP line protocol
+//! ([`SnapshotQuery`] grammar in [`query`]) so many concurrent clients
+//! can ask for rankings, pairwise spatial r², topical peaks, series
+//! windows, ingestion stats and health while ingestion is still
+//! running:
+//!
+//! ```no_run
+//! use mobilenet_core::StudyConfig;
+//! use mobilenet_serve::{spawn_server, LiveState};
+//!
+//! let state = LiveState::from_config(&StudyConfig::small(), 7).unwrap();
+//! let mut server = spawn_server(state.clone(), "127.0.0.1:0").unwrap();
+//! println!("listening on {}", server.addr());
+//! state.run_ingestion().unwrap();
+//! // ... serve until told otherwise ...
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod live;
+pub mod query;
+pub mod server;
+
+pub use live::{LiveSnapshot, LiveState};
+pub use query::{answer, Command, SnapshotQuery};
+pub use server::{spawn_server, ServerHandle};

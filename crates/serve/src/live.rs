@@ -1,0 +1,306 @@
+//! Incremental aggregation over an unbounded record stream.
+//!
+//! [`LiveState`] is the always-on counterpart of
+//! [`collect_with_options`](mobilenet_netsim::collect_with_options): it
+//! owns the demand model and measurement apparatus, streams every shard
+//! of the synthetic week through bounded chunks
+//! ([`stream_shard_chunked`]) into per-shard partial datasets, and
+//! answers snapshot queries at any point during ingestion.
+//!
+//! # Bit-identity contract
+//!
+//! A snapshot taken after ingestion completes is **bit-identical** to the
+//! batch path on the same `(config, seed)` — at any thread count and with
+//! any fault plan — because the live engine replicates the batch
+//! engine's operations exactly:
+//!
+//! * each shard's records come from the same [`Capture`]/[`SyntheticSource`]
+//!   streams, chunked by the same [`ChunkSink`] budget;
+//! * every flushed batch folds through the same
+//!   [`aggregate_batch`] into a per-shard partial, and exactly one worker
+//!   streams a given shard, so the fold order within a shard is the
+//!   stream order;
+//! * source-side diagnostics merge into the shard partial at shard close,
+//!   exactly where the batch engine merges them;
+//! * a snapshot merges the partials **in shard order** into a fresh
+//!   dataset and fills the tail table from the model — the same
+//!   reduction `collect_with_options` performs.
+//!
+//! # Watermark semantics
+//!
+//! The synthetic source is *not* time-ordered — sessions sample their
+//! start hour — so the watermark is an **observed frontier**, not a
+//! completeness guarantee: per shard it is the highest start hour folded
+//! so far, jumping to 168 when the shard's stream closes; the global
+//! watermark is the minimum over shards. It is monotone, reaches 168
+//! exactly when every shard has closed ([`LiveSnapshot::complete`]), and
+//! until then snapshots are monotone lower bounds of the final week
+//! (per-cell volumes only grow).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mobilenet_core::StudyConfig;
+use mobilenet_netsim::{
+    aggregate_batch, stream_shard_chunked, Capture, CollectOptions, CollectionStats, IngestError,
+    IngestMeter, IngestStats, NetsimConfig, RecordSource, SyntheticSource,
+};
+use mobilenet_traffic::{DemandModel, ServiceCatalog, TrafficDataset, HOURS_PER_WEEK};
+
+/// One shard's growing partial aggregate.
+#[derive(Debug)]
+struct ShardSlot {
+    dataset: TrafficDataset,
+    stats: CollectionStats,
+}
+
+/// The shared state of one live ingestion run: per-shard partials,
+/// watermarks and accounting, queryable while
+/// [`run_ingestion`](LiveState::run_ingestion) streams.
+pub struct LiveState {
+    model: DemandModel,
+    netsim: NetsimConfig,
+    options: CollectOptions,
+    seed: u64,
+    slots: Vec<Mutex<ShardSlot>>,
+    /// Per-shard observed frontier: `max start_hour + 1` folded so far,
+    /// `HOURS_PER_WEEK` once the shard closes.
+    watermarks: Vec<AtomicU64>,
+    closed_shards: AtomicUsize,
+    /// Bumped on every fold and shard close; snapshot cache key.
+    version: AtomicU64,
+    meter: IngestMeter,
+    workers: AtomicUsize,
+    bytes_read: AtomicU64,
+    started: AtomicBool,
+    cache: Mutex<Option<(u64, Arc<LiveSnapshot>)>>,
+}
+
+/// A consistent view of the live aggregate at one moment — on a complete
+/// run, bit-identical to the batch
+/// [`CollectionOutput`](mobilenet_netsim::CollectionOutput).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LiveSnapshot {
+    /// The merged dataset (tail table filled from the demand model).
+    pub dataset: TrafficDataset,
+    /// Collection diagnostics folded so far.
+    pub stats: CollectionStats,
+    /// Streaming-engine accounting so far.
+    pub ingest: IngestStats,
+    /// Global observed frontier, hours (`0..=168`); see the module docs
+    /// for the exact semantics.
+    pub watermark_hour: usize,
+    /// Whether every shard's stream has closed — from this point on the
+    /// snapshot no longer changes and equals the batch output.
+    pub complete: bool,
+    /// The state version the snapshot was built at (monotone).
+    pub version: u64,
+}
+
+impl LiveState {
+    /// Builds the live state for a demand model: one empty partial per
+    /// shard, nothing streamed yet.
+    pub fn new(
+        model: DemandModel,
+        netsim: NetsimConfig,
+        options: CollectOptions,
+        seed: u64,
+    ) -> Result<Arc<LiveState>, String> {
+        netsim.validate()?;
+        options.validate()?;
+        let catalog = model.catalog();
+        let n_head = catalog.head().len();
+        let n_tail = catalog.tail_len();
+        let share = model.config().subscriber_share;
+        let shards = n_head;
+        let slots = (0..shards)
+            .map(|_| {
+                Mutex::new(ShardSlot {
+                    dataset: TrafficDataset::new(model.country(), n_head, n_tail, share),
+                    stats: CollectionStats::default(),
+                })
+            })
+            .collect();
+        let watermarks = (0..shards).map(|_| AtomicU64::new(0)).collect();
+        Ok(Arc::new(LiveState {
+            model,
+            netsim,
+            options,
+            seed,
+            slots,
+            watermarks,
+            closed_shards: AtomicUsize::new(0),
+            version: AtomicU64::new(0),
+            meter: IngestMeter::new(),
+            workers: AtomicUsize::new(0),
+            bytes_read: AtomicU64::new(0),
+            started: AtomicBool::new(false),
+            cache: Mutex::new(None),
+        }))
+    }
+
+    /// [`LiveState::new`] from a [`StudyConfig`] — the same model and
+    /// options a batch [`Pipeline`](mobilenet_core::Pipeline) run of that
+    /// config would use, so snapshots pin against it.
+    pub fn from_config(config: &StudyConfig, seed: u64) -> Result<Arc<LiveState>, String> {
+        LiveState::new(
+            config.demand_model(seed),
+            config.netsim.clone(),
+            config.collect_options(),
+            seed,
+        )
+    }
+
+    /// The service catalog of the demand model.
+    pub fn catalog(&self) -> &ServiceCatalog {
+        self.model.catalog()
+    }
+
+    /// Head-service names in dataset order.
+    pub fn service_names(&self) -> Vec<&'static str> {
+        self.catalog().head().iter().map(|s| s.name).collect()
+    }
+
+    /// Streams the whole week through the incremental engine, fanning the
+    /// shards out over the ambient `mobilenet-par` pool. Blocks until
+    /// every shard closes (run it on a dedicated thread to keep serving);
+    /// snapshots remain answerable throughout.
+    ///
+    /// Returns the final accounting; a second call is rejected (the
+    /// stream was already consumed).
+    pub fn run_ingestion(&self) -> Result<IngestStats, IngestError> {
+        if self.started.swap(true, Ordering::SeqCst) {
+            return Err(IngestError::Config("live ingestion already ran".into()));
+        }
+        let _span = mobilenet_obs::span("live_ingest");
+        let capture =
+            Capture::build(&self.model, &self.netsim, self.seed).map_err(IngestError::Config)?;
+        let source: SyntheticSource<'_> = capture.source(&self.model, &self.options, self.seed);
+        let shards = self.slots.len();
+        let workers = mobilenet_par::current_threads().min(shards.max(1)).max(1);
+        self.workers.store(workers, Ordering::Relaxed);
+        let results = mobilenet_par::par_map_collect(shards, |shard| {
+            let mut source_stats = CollectionStats::default();
+            let streamed = stream_shard_chunked(
+                &source,
+                shard,
+                self.options.chunk_size,
+                &self.meter,
+                &mut source_stats,
+                |batch| {
+                    let frontier = batch.start_hours().iter().copied().max();
+                    {
+                        let mut guard = self.slots[shard].lock().expect("shard slot poisoned");
+                        let slot = &mut *guard;
+                        aggregate_batch(
+                            batch,
+                            capture.classifier(),
+                            self.options.fold,
+                            false,
+                            &mut slot.dataset,
+                            &mut slot.stats,
+                        );
+                    }
+                    if let Some(h) = frontier {
+                        self.watermarks[shard].fetch_max(h as u64 + 1, Ordering::Relaxed);
+                    }
+                    self.version.fetch_add(1, Ordering::Release);
+                },
+            );
+            // Source-side diagnostics fold into the partial at shard
+            // close — the exact point the batch engine merges them, so
+            // the partial matches the batch partial bit for bit.
+            self.slots[shard]
+                .lock()
+                .expect("shard slot poisoned")
+                .stats
+                .merge(&source_stats);
+            if streamed.is_ok() {
+                self.watermarks[shard].store(HOURS_PER_WEEK as u64, Ordering::Release);
+                self.closed_shards.fetch_add(1, Ordering::SeqCst);
+            }
+            self.bytes_read.store(source.bytes_read(), Ordering::Relaxed);
+            self.version.fetch_add(1, Ordering::Release);
+            streamed
+        });
+        for r in results {
+            r?;
+        }
+        self.bytes_read.store(source.bytes_read(), Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Release);
+        Ok(self.ingest_stats())
+    }
+
+    /// Global observed frontier, hours (`0..=168`).
+    pub fn watermark_hour(&self) -> usize {
+        self.watermarks
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0) as usize
+    }
+
+    /// Whether every shard's stream has closed.
+    pub fn complete(&self) -> bool {
+        self.closed_shards.load(Ordering::SeqCst) == self.slots.len()
+    }
+
+    /// Streaming-engine accounting so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.meter.stats(
+            self.options.chunk_size,
+            self.workers.load(Ordering::Relaxed),
+            self.bytes_read.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The current state version (bumped on every fold).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// A consistent snapshot of the live aggregate: partials merged in
+    /// shard order into a fresh dataset, tail filled from the model —
+    /// the batch engine's reduction, run on demand.
+    ///
+    /// Snapshots are cached per state version, so repeated queries while
+    /// ingestion is idle (or finished) cost one merge total.
+    pub fn snapshot(&self) -> Arc<LiveSnapshot> {
+        let version = self.version();
+        if let Some((cached_version, snap)) =
+            self.cache.lock().expect("snapshot cache poisoned").as_ref()
+        {
+            if *cached_version == version {
+                return snap.clone();
+            }
+        }
+        let _span = mobilenet_obs::span("live_snapshot");
+        let catalog = self.model.catalog();
+        let mut dataset = TrafficDataset::new(
+            self.model.country(),
+            catalog.head().len(),
+            catalog.tail_len(),
+            self.model.config().subscriber_share,
+        );
+        let mut stats = CollectionStats::default();
+        for slot in &self.slots {
+            let slot = slot.lock().expect("shard slot poisoned");
+            dataset.merge(&slot.dataset).expect("shard partials share one shape");
+            stats.merge(&slot.stats);
+        }
+        self.model.fill_tail(&mut dataset);
+        let snap = Arc::new(LiveSnapshot {
+            dataset,
+            stats,
+            ingest: self.ingest_stats(),
+            watermark_hour: self.watermark_hour(),
+            complete: self.complete(),
+            version,
+        });
+        mobilenet_obs::add("serve.snapshots", 1);
+        mobilenet_obs::gauge("serve.watermark_hour", snap.watermark_hour as f64);
+        *self.cache.lock().expect("snapshot cache poisoned") = Some((version, snap.clone()));
+        snap
+    }
+}

@@ -1,0 +1,248 @@
+//! Snapshot queries and the line protocol they travel over.
+//!
+//! # Protocol grammar
+//!
+//! One request per line, case-insensitive verb, space-separated operands;
+//! `<dir>` is `dl` or `ul`:
+//!
+//! ```text
+//! request   = query | "QUIT" | "SHUTDOWN"
+//! query     = "RANK" dir k          ; top-k service ranking
+//!           | "R2" dir              ; pairwise spatial correlation
+//!           | "PEAKS" dir           ; topical peak profiles
+//!           | "SERIES" dir service  ; national hourly series up to the watermark
+//!           | "WATERMARK"           ; frontier / completeness / version
+//!           | "STATS"               ; ingestion accounting
+//!           | "DATASET"             ; full dataset CSV (batch-export format)
+//!           | "HEALTH"              ; serve.* + netsim.ingest.* obs metrics
+//! dir       = "dl" | "ul"
+//! ```
+//!
+//! Responses are framed as `OK <n>` followed by exactly `n` body lines,
+//! or a single `ERR <message>` line. `QUIT` closes the connection
+//! (without a response); `SHUTDOWN` additionally stops the server.
+//!
+//! Floating-point values render with `{:e}` — the trace/CSV notation the
+//! rest of the workspace round-trips — so two bit-identical snapshots
+//! produce byte-identical responses. `DATASET` bodies are exactly
+//! [`TrafficDataset::to_csv`](mobilenet_traffic::TrafficDataset), which
+//! is what lets the CI smoke test `cmp` a live dump against a batch
+//! export.
+
+use mobilenet_core::peaks::PeakConfig;
+use mobilenet_core::{spatial_correlation_of, top_k_services, topical_profiles_of};
+use mobilenet_traffic::Direction;
+
+use crate::live::{LiveSnapshot, LiveState};
+
+/// A read-only question about the current live aggregate.
+///
+/// `#[non_exhaustive]`: new query kinds are non-breaking; construct via
+/// the enum variants or [`SnapshotQuery::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotQuery {
+    /// Top-`k` head services by share of total volume.
+    Ranking {
+        /// Direction ranked.
+        dir: Direction,
+        /// How many services to return.
+        k: usize,
+    },
+    /// Pairwise spatial correlation (mean + per-service means).
+    PairwiseR2 {
+        /// Direction correlated.
+        dir: Direction,
+    },
+    /// Topical peak profile of every head service.
+    Peaks {
+        /// Direction profiled.
+        dir: Direction,
+    },
+    /// One service's national hourly series up to the watermark.
+    Series {
+        /// Direction read.
+        dir: Direction,
+        /// Head-service index.
+        service: usize,
+    },
+    /// Observed frontier, completeness and state version.
+    Watermark,
+    /// Streaming-engine accounting.
+    Stats,
+    /// The full dataset in batch-export CSV format.
+    Dataset,
+    /// Health endpoint: the `serve.*` / `netsim.ingest.*` slice of the
+    /// observability registry.
+    Health,
+}
+
+/// One parsed protocol line: a query or a connection-control verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Answer a snapshot query.
+    Query(SnapshotQuery),
+    /// Close this connection.
+    Quit,
+    /// Close this connection and stop the server.
+    Shutdown,
+}
+
+fn parse_dir(token: &str) -> Result<Direction, String> {
+    match token.to_ascii_lowercase().as_str() {
+        "dl" => Ok(Direction::Down),
+        "ul" => Ok(Direction::Up),
+        other => Err(format!("unknown direction {other:?} (expected dl or ul)")),
+    }
+}
+
+impl SnapshotQuery {
+    /// Parses one protocol line into a query (see the module docs for
+    /// the grammar). Connection-control verbs are rejected here; use
+    /// [`Command::parse`] when speaking the full protocol.
+    pub fn parse(line: &str) -> Result<SnapshotQuery, String> {
+        match Command::parse(line)? {
+            Command::Query(q) => Ok(q),
+            other => Err(format!("{other:?} is not a snapshot query")),
+        }
+    }
+}
+
+impl Command {
+    /// Parses one protocol line.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+        let mut operand = |name: &str| {
+            tokens
+                .next()
+                .ok_or_else(|| format!("{} requires {name}", verb.to_ascii_uppercase()))
+        };
+        let cmd = match verb.to_ascii_uppercase().as_str() {
+            "RANK" => {
+                let dir = parse_dir(operand("<dir> <k>")?)?;
+                let k = operand("<dir> <k>")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad k: {e}"))?;
+                Command::Query(SnapshotQuery::Ranking { dir, k })
+            }
+            "R2" => Command::Query(SnapshotQuery::PairwiseR2 { dir: parse_dir(operand("<dir>")?)? }),
+            "PEAKS" => Command::Query(SnapshotQuery::Peaks { dir: parse_dir(operand("<dir>")?)? }),
+            "SERIES" => {
+                let dir = parse_dir(operand("<dir> <service>")?)?;
+                let service = operand("<dir> <service>")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad service index: {e}"))?;
+                Command::Query(SnapshotQuery::Series { dir, service })
+            }
+            "WATERMARK" => Command::Query(SnapshotQuery::Watermark),
+            "STATS" => Command::Query(SnapshotQuery::Stats),
+            "DATASET" => Command::Query(SnapshotQuery::Dataset),
+            "HEALTH" => Command::Query(SnapshotQuery::Health),
+            "QUIT" => Command::Quit,
+            "SHUTDOWN" => Command::Shutdown,
+            other => return Err(format!("unknown verb {other:?}")),
+        };
+        if tokens.next().is_some() {
+            return Err("trailing operands".into());
+        }
+        Ok(cmd)
+    }
+}
+
+/// Answers `query` against the state's current snapshot, as protocol body
+/// lines.
+///
+/// Analytical queries delegate to the exact batch analysis functions
+/// ([`top_k_services`], [`spatial_correlation_of`],
+/// [`topical_profiles_of`]) over the snapshot dataset, so on a complete
+/// week the answers are bit-identical to a batch run's.
+pub fn answer(state: &LiveState, query: &SnapshotQuery) -> Result<Vec<String>, String> {
+    let snap = state.snapshot();
+    answer_snapshot(state, &snap, query)
+}
+
+fn answer_snapshot(
+    state: &LiveState,
+    snap: &LiveSnapshot,
+    query: &SnapshotQuery,
+) -> Result<Vec<String>, String> {
+    let head = state.catalog().head();
+    match query {
+        SnapshotQuery::Ranking { dir, k } => {
+            let top = top_k_services(&snap.dataset, head, *dir, *k);
+            Ok(top
+                .iter()
+                .map(|s| format!("{} {:e} {}", s.name, s.share_of_total, s.category.label()))
+                .collect())
+        }
+        SnapshotQuery::PairwiseR2 { dir } => {
+            let corr = spatial_correlation_of(&snap.dataset, state.service_names(), *dir);
+            let mut lines = vec![format!("mean {:e}", corr.mean_r2)];
+            for (s, name) in corr.names.iter().enumerate() {
+                lines.push(format!("{name} {:e}", corr.service_mean_r2(s)));
+            }
+            Ok(lines)
+        }
+        SnapshotQuery::Peaks { dir } => {
+            let profiles =
+                topical_profiles_of(&snap.dataset, state.service_names(), *dir, &PeakConfig::paper());
+            Ok(profiles
+                .iter()
+                .map(|p| {
+                    let times: Vec<String> =
+                        p.peak_times().iter().map(|t| format!("{t:?}")).collect();
+                    let times = if times.is_empty() { "-".to_string() } else { times.join(",") };
+                    format!("{} {times}", p.name)
+                })
+                .collect())
+        }
+        SnapshotQuery::Series { dir, service } => {
+            if *service >= head.len() {
+                return Err(format!(
+                    "service index {service} out of range (head has {})",
+                    head.len()
+                ));
+            }
+            let window =
+                snap.dataset.national_series_window(*dir, *service, 0, snap.watermark_hour);
+            let values: Vec<String> = window.iter().map(|v| format!("{v:e}")).collect();
+            Ok(vec![format!("{} {}", head[*service].name, values.join(" "))])
+        }
+        SnapshotQuery::Watermark => Ok(vec![format!(
+            "hour {} complete {} version {}",
+            snap.watermark_hour, snap.complete, snap.version
+        )]),
+        SnapshotQuery::Stats => {
+            let i = &snap.ingest;
+            Ok(vec![
+                format!("chunks {}", i.chunks),
+                format!("records {}", i.records),
+                format!("peak_resident_records {}", i.peak_resident_records),
+                format!("resident_budget {}", i.resident_budget()),
+                format!("bytes_read {}", i.bytes_read),
+                format!("chunk_size {}", i.chunk_size),
+                format!("workers {}", i.workers),
+                format!("sessions {}", snap.stats.sessions),
+                format!("lost_records {}", snap.stats.faults.lost_total()),
+            ])
+        }
+        SnapshotQuery::Dataset => {
+            Ok(snap.dataset.to_csv().lines().map(str::to_string).collect())
+        }
+        SnapshotQuery::Health => {
+            let health = mobilenet_obs::snapshot().filtered(&["serve.", "netsim.ingest."]);
+            let mut lines = Vec::new();
+            for (name, v) in &health.counters {
+                lines.push(format!("counter {name} {v}"));
+            }
+            for (name, v) in &health.fcounters {
+                lines.push(format!("fcounter {name} {v:e}"));
+            }
+            for (name, v) in &health.gauges {
+                lines.push(format!("gauge {name} {v:e}"));
+            }
+            Ok(lines)
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! A std-only TCP server answering snapshot queries during ingestion.
+//!
+//! [`spawn_server`] binds a listener and returns immediately; an accept
+//! thread hands each connection to its own worker thread, so many
+//! clients query concurrently while [`LiveState::run_ingestion`] streams
+//! on yet another thread. Everything is `std::net` + `std::thread` — no
+//! async runtime.
+//!
+//! Per connection the protocol is line-oriented (see
+//! [`crate::query`] for the grammar): each request line is answered with
+//! `OK <n>` plus `n` body lines, or `ERR <message>`. `QUIT` ends the
+//! connection; `SHUTDOWN` ends the connection and stops the server.
+//!
+//! The server publishes its own observability metrics:
+//! `serve.connections`, `serve.queries`, `serve.query_errors` (counters)
+//! and `serve.active_clients` (gauge) — all visible through the `HEALTH`
+//! verb alongside the `netsim.ingest.*` family.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::live::LiveState;
+use crate::query::{answer, Command};
+
+/// Shared server control block.
+struct ServerShared {
+    state: Arc<LiveState>,
+    stop: AtomicBool,
+    active_clients: AtomicU64,
+}
+
+/// A running query server; dropping the handle does **not** stop it —
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0` binds).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops — either via
+    /// [`ServerHandle::shutdown`] from another thread or a client's
+    /// `SHUTDOWN` — without initiating the stop itself.
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    ///
+    /// In-flight client threads finish their current request and exit at
+    /// the next read. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// snapshot queries against `state` until [`ServerHandle::shutdown`] or a
+/// client sends `SHUTDOWN`.
+pub fn spawn_server(state: Arc<LiveState>, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        state,
+        stop: AtomicBool::new(false),
+        active_clients: AtomicU64::new(0),
+    });
+    let accept_shared = shared.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServerHandle { addr: local, shared, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        mobilenet_obs::add("serve.connections", 1);
+        let n = shared.active_clients.fetch_add(1, Ordering::SeqCst) + 1;
+        mobilenet_obs::gauge("serve.active_clients", n as f64);
+        let client_shared = shared.clone();
+        // Detached worker: the connection owns its thread; `shutdown`
+        // only needs the accept loop joined, clients exit at their next
+        // read after the peer hangs up.
+        let spawned = std::thread::Builder::new()
+            .name("serve-client".into())
+            .spawn(move || {
+                let _ = serve_client(stream, &client_shared);
+                let n = client_shared.active_clients.fetch_sub(1, Ordering::SeqCst) - 1;
+                mobilenet_obs::gauge("serve.active_clients", n as f64);
+            });
+        if spawned.is_err() {
+            let n = shared.active_clients.fetch_sub(1, Ordering::SeqCst) - 1;
+            mobilenet_obs::gauge("serve.active_clients", n as f64);
+        }
+    }
+}
+
+/// Serves one connection until `QUIT`/`SHUTDOWN`/EOF.
+fn serve_client(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Command::parse(&line) {
+            Ok(Command::Quit) => return Ok(()),
+            Ok(Command::Shutdown) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(writer.local_addr()?);
+                writeln!(writer, "OK 0")?;
+                return Ok(());
+            }
+            Ok(Command::Query(query)) => {
+                mobilenet_obs::add("serve.queries", 1);
+                match answer(&shared.state, &query) {
+                    Ok(body) => {
+                        let mut response = format!("OK {}\n", body.len());
+                        for l in &body {
+                            response.push_str(l);
+                            response.push('\n');
+                        }
+                        writer.write_all(response.as_bytes())?;
+                    }
+                    Err(msg) => {
+                        mobilenet_obs::add("serve.query_errors", 1);
+                        writeln!(writer, "ERR {msg}")?;
+                    }
+                }
+            }
+            Err(msg) => {
+                mobilenet_obs::add("serve.query_errors", 1);
+                writeln!(writer, "ERR {msg}")?;
+            }
+        }
+        writer.flush()?;
+    }
+}

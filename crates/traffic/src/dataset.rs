@@ -251,6 +251,39 @@ impl TrafficDataset {
         self.national_series(dir, service).iter().sum()
     }
 
+    /// A window `[start, end)` (hours of the week, clamped to
+    /// `0..168`) of a head service's national series — the time-windowed
+    /// accessor live queries use to answer over the watermarked prefix of
+    /// a week still being ingested.
+    pub fn national_series_window(
+        &self,
+        dir: Direction,
+        service: usize,
+        start: usize,
+        end: usize,
+    ) -> &[f64] {
+        let series = self.national_series(dir, service);
+        let end = end.min(HOURS_PER_WEEK);
+        let start = start.min(end);
+        &series[start..end]
+    }
+
+    /// Total volume of a head service over an hour window `[start, end)`
+    /// (clamped): summed left-to-right over the window, so for
+    /// `[0, 168)` it is bit-identical to [`national_weekly`]
+    /// (same additions in the same order).
+    ///
+    /// [`national_weekly`]: TrafficDataset::national_weekly
+    pub fn national_window_total(
+        &self,
+        dir: Direction,
+        service: usize,
+        start: usize,
+        end: usize,
+    ) -> f64 {
+        self.national_series_window(dir, service, start, end).iter().sum()
+    }
+
     /// The per-commune weekly totals of a head service.
     pub fn commune_vector(&self, dir: Direction, service: usize) -> &[f64] {
         let start = self.cw_index(dir.index(), service, 0);
@@ -710,6 +743,29 @@ mod tests {
         // Other direction untouched.
         assert_eq!(ds.national_series(Direction::Up, 1)[42], 0.0);
         assert_eq!(ds.national_weekly(Direction::Down, 1), 7.5);
+    }
+
+    #[test]
+    fn window_accessors_clamp_and_match_the_weekly_total() {
+        let (country, mut ds) = dataset();
+        for (i, c) in country.communes().iter().enumerate().take(100) {
+            ds.add(Direction::Down, 0, c.id, (i * 7) % HOURS_PER_WEEK, 0.3 + i as f64 * 0.17);
+        }
+        // The full window is the weekly total, bit for bit (same
+        // left-to-right additions).
+        assert_eq!(
+            ds.national_window_total(Direction::Down, 0, 0, HOURS_PER_WEEK),
+            ds.national_weekly(Direction::Down, 0)
+        );
+        // Disjoint windows partition the series.
+        let a = ds.national_series_window(Direction::Down, 0, 0, 50);
+        let b = ds.national_series_window(Direction::Down, 0, 50, HOURS_PER_WEEK);
+        assert_eq!(a.len() + b.len(), HOURS_PER_WEEK);
+        assert_eq!(a[49], ds.national_series(Direction::Down, 0)[49]);
+        // Out-of-range bounds clamp instead of panicking.
+        assert_eq!(ds.national_series_window(Direction::Down, 0, 0, 10_000).len(), 168);
+        assert!(ds.national_series_window(Direction::Down, 0, 80, 20).is_empty());
+        assert_eq!(ds.national_window_total(Direction::Down, 0, 168, 168), 0.0);
     }
 
     #[test]

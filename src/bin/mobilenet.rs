@@ -7,6 +7,8 @@
 //! mobilenet map       [--scale S] [--seed N] [--service NAME] [--width W]
 //! mobilenet forecast  [--scale S] [--seed N]             predictability report
 //! mobilenet export    [--scale S] [--seed N] --out FILE  dataset CSV for offline analysis
+//! mobilenet serve     [--scale S] [--seed N] [--addr A]  live query service (ingest + TCP server)
+//! mobilenet query     [--addr A] [--body-only] Q...      scripted client for a running server
 //! ```
 //!
 //! Scales: `small` (1k communes), `medium` (6k), `france` (36k).
@@ -25,6 +27,13 @@
 //! `--chunk-size N` bounds the streaming-ingestion chunk size in
 //! records: peak resident records stay at or below `N × workers`, and
 //! the output is bit-identical at every chunk size.
+//!
+//! `serve` binds `--addr` (default `127.0.0.1:7878`), prints the bound
+//! address, then ingests on a background thread while answering queries;
+//! it runs until a client sends `SHUTDOWN`. `query` connects to a
+//! running server, sends each `Q` as one protocol line and prints the
+//! responses (`--body-only` drops the `OK <n>` frame — handy for piping
+//! `DATASET` into a file to diff against a batch `export`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,14 +59,17 @@ struct Args {
     obs: Option<PathBuf>,
     faults: Option<FaultPlan>,
     chunk_size: Option<usize>,
+    addr: String,
+    body_only: bool,
+    queries: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mobilenet <overview|ranking|peaks|map|forecast|export> \
+        "usage: mobilenet <overview|ranking|peaks|map|forecast|export|serve|query> \
          [--scale small|medium|france] [--seed N] [--uplink] \
          [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE] \
-         [--faults SPEC] [--chunk-size N]"
+         [--faults SPEC] [--chunk-size N] [--addr HOST:PORT] [--body-only] [QUERY...]"
     );
     ExitCode::from(2)
 }
@@ -80,6 +92,9 @@ fn parse() -> Result<Args, ExitCode> {
         obs: None,
         faults: None,
         chunk_size: None,
+        addr: "127.0.0.1:7878".into(),
+        body_only: false,
+        queries: Vec::new(),
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -137,6 +152,11 @@ fn parse() -> Result<Args, ExitCode> {
                     ExitCode::from(2)
                 })?);
             }
+            "--addr" => args.addr = argv.next().ok_or_else(usage)?,
+            "--body-only" => args.body_only = true,
+            other if args.command == "query" && !other.starts_with("--") => {
+                args.queries.push(other.to_string());
+            }
             _ => return Err(usage()),
         }
     }
@@ -172,6 +192,11 @@ impl From<Error> for CliError {
 }
 
 fn run(args: &Args) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "serve" => return run_serve(args),
+        "query" => return run_query(args),
+        _ => {}
+    }
     let dir = if args.uplink { Direction::Up } else { Direction::Down };
 
     eprintln!("generating {} study (seed {})...", args.scale, args.seed);
@@ -288,6 +313,87 @@ fn run(args: &Args) -> Result<(), CliError> {
         } else {
             eprint!("{}", snapshot.render());
         }
+    }
+    Ok(())
+}
+
+/// `mobilenet serve`: bind the query server, then stream the week on a
+/// background thread while answering clients; runs until `SHUTDOWN`.
+fn run_serve(args: &Args) -> Result<(), CliError> {
+    if let Some(n) = args.threads {
+        mobilenet::par::set_thread_override(Some(n));
+    }
+    // The health endpoint needs the registry live regardless of --obs.
+    mobilenet::obs::set_enabled(Some(true));
+    let mut config = args.scale.config();
+    if let Some(plan) = &args.faults {
+        config = config.with_faults(plan.clone());
+    }
+    if let Some(n) = args.chunk_size {
+        config = config.with_chunk_size(n);
+    }
+    eprintln!("generating {} model (seed {})...", args.scale, args.seed);
+    let state = mobilenet::LiveState::from_config(&config, args.seed)
+        .map_err(|e| CliError::Pipeline(Error::Config(e)))?;
+    let mut server = mobilenet::spawn_server(state.clone(), &args.addr).map_err(Error::Io)?;
+    // Scripts scrape this line for the (possibly ephemeral) bound port;
+    // it must appear before ingestion starts.
+    println!("listening on {}", server.addr());
+    let ingest_state = state.clone();
+    let ingest = std::thread::spawn(move || {
+        let result = ingest_state.run_ingestion();
+        match &result {
+            Ok(stats) => eprintln!(
+                "ingestion complete: {} records in {} chunks, peak resident {}",
+                stats.records, stats.chunks, stats.peak_resident_records
+            ),
+            Err(e) => eprintln!("ingestion failed: {e}"),
+        }
+        result
+    });
+    server.wait();
+    match ingest.join() {
+        Ok(Ok(_)) => Ok(()),
+        Ok(Err(e)) => Err(Error::Config(format!("live ingestion failed: {e}")).into()),
+        Err(_) => Err(Error::Config("live ingestion panicked".into()).into()),
+    }
+}
+
+/// `mobilenet query`: send each query as one protocol line and print the
+/// responses.
+fn run_query(args: &Args) -> Result<(), CliError> {
+    use std::io::{BufRead as _, Write as _};
+    let stream = std::net::TcpStream::connect(&args.addr).map_err(Error::Io)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(Error::Io)?);
+    let mut writer = stream;
+    let mut failed = false;
+    for q in &args.queries {
+        writeln!(writer, "{q}").map_err(Error::Io)?;
+        writer.flush().map_err(Error::Io)?;
+        let mut head = String::new();
+        reader.read_line(&mut head).map_err(Error::Io)?;
+        let head = head.trim_end().to_string();
+        if let Some(n) = head.strip_prefix("OK ") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| Error::Config(format!("malformed response frame {head:?}")))?;
+            if !args.body_only {
+                println!("{head}");
+            }
+            let mut line = String::new();
+            for _ in 0..n {
+                line.clear();
+                reader.read_line(&mut line).map_err(Error::Io)?;
+                print!("{line}");
+            }
+        } else {
+            eprintln!("{q}: {head}");
+            failed = true;
+        }
+    }
+    let _ = writeln!(writer, "QUIT");
+    if failed {
+        return Err(Error::Config("one or more queries failed".into()).into());
     }
     Ok(())
 }

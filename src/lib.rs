@@ -21,7 +21,9 @@
 //! * [`par`] — the deterministic parallel execution layer (ordered
 //!   scoped-thread map/reduce, `MOBILENET_THREADS`);
 //! * [`obs`] — the observability layer (span timers, counters, gauges,
-//!   histograms; `MOBILENET_OBS`).
+//!   histograms; `MOBILENET_OBS`);
+//! * [`serve`] — incremental aggregation over the record stream and the
+//!   live TCP query service (`mobilenet serve` / `mobilenet query`).
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use mobilenet_geo as geo;
 pub use mobilenet_netsim as netsim;
 pub use mobilenet_obs as obs;
 pub use mobilenet_par as par;
+pub use mobilenet_serve as serve;
 pub use mobilenet_timeseries as timeseries;
 pub use mobilenet_traffic as traffic;
 
@@ -56,3 +59,4 @@ pub use mobilenet_core::{
     CollectOptions, Error, FaultPlan, FaultStats, FoldStrategy, IngestStats, OutageWindow,
     Pipeline, PipelineBuilder, Run, Scale, DEFAULT_CHUNK_SIZE, DEFAULT_SEED,
 };
+pub use mobilenet_serve::{spawn_server, LiveSnapshot, LiveState, ServerHandle, SnapshotQuery};
