@@ -2,9 +2,18 @@
 //! stages, serial (1 thread) versus parallel (all configured workers).
 //!
 //! ```text
-//! bench_baseline [--scale small|medium|france] [--seed N] [--out FILE]
+//! bench_baseline [--scale small|medium|france|national] [--seed N] [--out FILE]
 //!                [--threads N] [--compare FILE]
 //! ```
+//!
+//! At `--scale national` (~10⁸ sessions) the binary runs the
+//! streaming-ingest benchmark only: the analysis-stage passes, the
+//! materialized ingest mode and the record-replay capture all require (or
+//! build) state proportional to the record count, and the point of the
+//! national tier is that the full record set is never resident. The
+//! emitted JSON then has an empty `stages` array and a single
+//! `streaming` ingest row (records/s + peak resident records), and
+//! `--compare` gates throughput only.
 //!
 //! `--compare FILE` reads a previously committed baseline and exits
 //! non-zero if any stage's serial time regressed by more than 25%
@@ -110,6 +119,7 @@ fn stage_seconds(snap: &mobilenet_obs::Snapshot) -> [f64; 5] {
 fn main() {
     let args = parse_args();
     let config = args.scale.config();
+    let national = args.scale == Scale::National;
 
     println!(
         "bench_baseline: {} scale, seed {}, serial vs {} threads",
@@ -130,7 +140,12 @@ fn main() {
     let mut fingerprints: Vec<String> = Vec::new();
     let mut parallel_obs_json = String::new();
 
-    for (pass, threads) in [("serial", 1usize), ("parallel", args.threads)] {
+    // National runs skip the analysis-stage passes entirely: each would
+    // hold a fully materialized study, and the tier's contract is that
+    // nothing proportional to the record count is ever resident.
+    let stage_passes: Vec<(&str, usize)> =
+        if national { Vec::new() } else { vec![("serial", 1), ("parallel", args.threads)] };
+    for (pass, threads) in stage_passes {
         mobilenet_par::set_thread_override(Some(threads));
         mobilenet_obs::set_enabled(Some(true));
         mobilenet_obs::reset();
@@ -205,12 +220,25 @@ fn main() {
     // Throughput must be comparable and the outputs bit-identical; peak
     // resident records shows the memory bound doing its job.
     mobilenet_par::set_thread_override(Some(args.threads));
+    if national {
+        println!(
+            "-- national: streaming ingest only (stage passes, materialized mode \
+             and replay capture skipped)"
+        );
+        mobilenet_obs::set_enabled(Some(true));
+        mobilenet_obs::reset();
+    }
     println!("-- streaming ingestion ({} threads)", args.threads);
-    let mut ingest_json = String::new();
+    let mut ingest_entries: Vec<String> = Vec::new();
     let mut ingest_rps: Vec<(String, f64)> = Vec::new();
     let mut ingest_csvs: Vec<usize> = Vec::new();
-    for (mode, chunk) in [("materialized", usize::MAX), ("streaming", CollectOptions::default().chunk_size)]
-    {
+    let default_chunk = CollectOptions::default().chunk_size;
+    let ingest_modes: Vec<(&str, usize)> = if national {
+        vec![("streaming", default_chunk)]
+    } else {
+        vec![("materialized", usize::MAX), ("streaming", default_chunk)]
+    };
+    for (mode, chunk) in ingest_modes {
         let options = CollectOptions::default().chunk_size(chunk);
         let t0 = std::time::Instant::now();
         let out = collect_with_options(&model, &config.netsim, &options, args.seed)
@@ -222,9 +250,9 @@ fn main() {
             "   {mode:<14} {secs:>8.2}s  {throughput:>12.0} rec/s  peak resident {:>10}",
             out.ingest.peak_resident_records
         );
-        ingest_json.push_str(&format!(
+        ingest_entries.push(format!(
             "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
-             \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }},\n",
+             \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }}",
             secs,
             records,
             throughput,
@@ -232,12 +260,16 @@ fn main() {
             out.ingest.workers,
         ));
         ingest_rps.push((mode.to_string(), throughput));
-        ingest_csvs.push(out.dataset.to_csv().len());
+        if !national {
+            ingest_csvs.push(out.dataset.to_csv().len());
+        }
     }
-    assert_eq!(
-        ingest_csvs[0], ingest_csvs[1],
-        "streaming collection diverged from the materialized path"
-    );
+    if ingest_csvs.len() == 2 {
+        assert_eq!(
+            ingest_csvs[0], ingest_csvs[1],
+            "streaming collection diverged from the materialized path"
+        );
+    }
 
     // Pure record-aggregation replay: capture the record stream once,
     // then time only the fold (no session synthesis, no probe RNG) —
@@ -245,67 +277,81 @@ fn main() {
     // dense-accumulation rewrite shows up: synthesis costs hundreds of
     // nanoseconds per record and would otherwise drown the aggregation
     // signal.
-    let mut captured: Vec<mobilenet_netsim::SessionRecord> = Vec::new();
-    observe_with_options(&model, &config.netsim, &CollectOptions::default(), args.seed, |r| {
-        captured.push(r.clone())
-    })
-    .expect("scale configs are valid");
-    let mut replay_csvs: Vec<usize> = Vec::new();
-    for (mode, fold) in
-        [("replay_rows", FoldStrategy::RowAtATime), ("replay_batched", FoldStrategy::Batched)]
-    {
-        let options = CollectOptions::default().fold_strategy(fold);
-        let source = SliceSource::new(&captured);
-        // One warm-up pass so allocator and caches settle, then the
-        // timed pass.
-        mobilenet_netsim::ingest(&source, &model, &options).expect("replay options are valid");
-        let t0 = std::time::Instant::now();
-        let out = mobilenet_netsim::ingest(&source, &model, &options)
-            .expect("replay options are valid");
-        let secs = t0.elapsed().as_secs_f64();
-        let records = out.ingest.records;
-        let throughput = if secs > 0.0 { records as f64 / secs } else { 0.0 };
-        println!("   {mode:<14} {secs:>8.2}s  {throughput:>12.0} rec/s");
-        ingest_json.push_str(&format!(
-            "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
-             \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }}{}\n",
-            secs,
-            records,
-            throughput,
-            out.ingest.peak_resident_records,
-            out.ingest.workers,
-            if mode == "replay_rows" { "," } else { "" }
-        ));
-        ingest_rps.push((mode.to_string(), throughput));
-        replay_csvs.push(out.dataset.to_csv().len());
+    // The replay benchmark captures every record in memory by design
+    // (it isolates the fold from synthesis), so it only runs at scales
+    // where the whole record set fits comfortably.
+    if !national {
+        let mut captured: Vec<mobilenet_netsim::SessionRecord> = Vec::new();
+        observe_with_options(&model, &config.netsim, &CollectOptions::default(), args.seed, |r| {
+            captured.push(r.clone())
+        })
+        .expect("scale configs are valid");
+        let mut replay_csvs: Vec<usize> = Vec::new();
+        for (mode, fold) in
+            [("replay_rows", FoldStrategy::RowAtATime), ("replay_batched", FoldStrategy::Batched)]
+        {
+            let options = CollectOptions::default().fold_strategy(fold);
+            let source = SliceSource::new(&captured);
+            // One warm-up pass so allocator and caches settle, then the
+            // timed pass.
+            mobilenet_netsim::ingest(&source, &model, &options).expect("replay options are valid");
+            let t0 = std::time::Instant::now();
+            let out = mobilenet_netsim::ingest(&source, &model, &options)
+                .expect("replay options are valid");
+            let secs = t0.elapsed().as_secs_f64();
+            let records = out.ingest.records;
+            let throughput = if secs > 0.0 { records as f64 / secs } else { 0.0 };
+            println!("   {mode:<14} {secs:>8.2}s  {throughput:>12.0} rec/s");
+            ingest_entries.push(format!(
+                "    {{ \"mode\": \"{mode}\", \"seconds\": {:.4}, \"records\": {}, \
+                 \"records_per_s\": {:.0}, \"peak_resident_records\": {}, \"workers\": {} }}",
+                secs,
+                records,
+                throughput,
+                out.ingest.peak_resident_records,
+                out.ingest.workers,
+            ));
+            ingest_rps.push((mode.to_string(), throughput));
+            replay_csvs.push(out.dataset.to_csv().len());
+        }
+        assert_eq!(
+            replay_csvs[0], replay_csvs[1],
+            "batched replay fold diverged from the row-at-a-time fold"
+        );
     }
-    assert_eq!(
-        replay_csvs[0], replay_csvs[1],
-        "batched replay fold diverged from the row-at-a-time fold"
-    );
+    let ingest_json = format!("{}\n", ingest_entries.join(",\n"));
+    if national {
+        // No analysis passes ran, so the ingest run's snapshot is the
+        // observability payload.
+        parallel_obs_json = mobilenet_obs::snapshot().to_json();
+    }
     mobilenet_par::set_thread_override(None);
     mobilenet_obs::set_enabled(None);
-    assert_eq!(
-        digests[0], digests[1],
-        "parallel pass diverged from serial pass — determinism bug"
-    );
-    assert_eq!(
-        fingerprints[0], fingerprints[1],
-        "obs counters diverged between serial and parallel passes — \
-         a probe is recording scheduling-dependent counts"
-    );
-    println!("-- output digests and obs fingerprints match: {}", digests[0]);
+    if !national {
+        assert_eq!(
+            digests[0], digests[1],
+            "parallel pass diverged from serial pass — determinism bug"
+        );
+        assert_eq!(
+            fingerprints[0], fingerprints[1],
+            "obs counters diverged between serial and parallel passes — \
+             a probe is recording scheduling-dependent counts"
+        );
+        println!("-- output digests and obs fingerprints match: {}", digests[0]);
+    }
 
     let mut stages_json = String::new();
-    for (i, name) in STAGES.iter().enumerate() {
-        let speedup = if parallel_s[i] > 0.0 { serial_s[i] / parallel_s[i] } else { 0.0 };
-        stages_json.push_str(&format!(
-            "    {{ \"stage\": \"{name}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}, \"speedup\": {:.2} }}{}\n",
-            serial_s[i],
-            parallel_s[i],
-            speedup,
-            if i + 1 < STAGES.len() { "," } else { "" }
-        ));
+    if !national {
+        for (i, name) in STAGES.iter().enumerate() {
+            let speedup = if parallel_s[i] > 0.0 { serial_s[i] / parallel_s[i] } else { 0.0 };
+            stages_json.push_str(&format!(
+                "    {{ \"stage\": \"{name}\", \"serial_s\": {:.4}, \"parallel_s\": {:.4}, \"speedup\": {:.2} }}{}\n",
+                serial_s[i],
+                parallel_s[i],
+                speedup,
+                if i + 1 < STAGES.len() { "," } else { "" }
+            ));
+        }
     }
     let total_serial: f64 = serial_s.iter().sum();
     let total_parallel: f64 = parallel_s.iter().sum();
@@ -332,39 +378,43 @@ fn main() {
     if let Some(path) = &args.compare {
         let text = fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-        let baseline = mobilenet_bench::parse_stage_baselines(&text)
-            .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
-        let current: Vec<(String, f64)> = STAGES
-            .iter()
-            .zip(serial_s.iter())
-            .map(|(name, s)| (name.to_string(), *s))
-            .collect();
-        println!("-- comparing serial timings against {}", path.display());
-        for base in &baseline {
-            let Some((_, cur)) = current.iter().find(|(n, _)| *n == base.stage) else {
-                println!("   {:<12} (not measured this run)", base.stage);
-                continue;
-            };
-            let ratio = if base.serial_s > 0.0 { cur / base.serial_s } else { 0.0 };
-            println!(
-                "   {:<12} {:>8.4}s -> {:>8.4}s  ({:.2}x baseline)",
-                base.stage, base.serial_s, cur, ratio
-            );
-        }
-        let regressions = mobilenet_bench::compare_stages(&baseline, &current);
-        if regressions.is_empty() {
-            println!("-- no stage regressed beyond the gate (>25% and >50ms)");
-        } else {
-            for r in &regressions {
-                eprintln!(
-                    "REGRESSION: {} went {:.4}s -> {:.4}s ({:+.0}%)",
-                    r.stage,
-                    r.baseline_s,
-                    r.current_s,
-                    100.0 * (r.current_s - r.baseline_s) / r.baseline_s
+        // National baselines carry no stage timings — only the ingest
+        // throughput side of the gate applies.
+        if !national {
+            let baseline = mobilenet_bench::parse_stage_baselines(&text)
+                .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+            let current: Vec<(String, f64)> = STAGES
+                .iter()
+                .zip(serial_s.iter())
+                .map(|(name, s)| (name.to_string(), *s))
+                .collect();
+            println!("-- comparing serial timings against {}", path.display());
+            for base in &baseline {
+                let Some((_, cur)) = current.iter().find(|(n, _)| *n == base.stage) else {
+                    println!("   {:<12} (not measured this run)", base.stage);
+                    continue;
+                };
+                let ratio = if base.serial_s > 0.0 { cur / base.serial_s } else { 0.0 };
+                println!(
+                    "   {:<12} {:>8.4}s -> {:>8.4}s  ({:.2}x baseline)",
+                    base.stage, base.serial_s, cur, ratio
                 );
             }
-            std::process::exit(1);
+            let regressions = mobilenet_bench::compare_stages(&baseline, &current);
+            if regressions.is_empty() {
+                println!("-- no stage regressed beyond the gate (>25% and >50ms)");
+            } else {
+                for r in &regressions {
+                    eprintln!(
+                        "REGRESSION: {} went {:.4}s -> {:.4}s ({:+.0}%)",
+                        r.stage,
+                        r.baseline_s,
+                        r.current_s,
+                        100.0 * (r.current_s - r.baseline_s) / r.baseline_s
+                    );
+                }
+                std::process::exit(1);
+            }
         }
 
         // Throughput side of the gate: ingestion modes must not lose more

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--scale small|medium|france] [--seed N] [--out DIR] [--expected]
+//! figures [--scale small|medium|france|national] [--seed N] [--out DIR] [--expected]
 //!         [--threads N] [--obs FILE]
 //! ```
 //!
@@ -206,7 +206,14 @@ fn main() {
         .position(|s| s.name == "Twitter")
         .expect("Twitter in catalog");
     let conc = concentration(&study, twitter);
-    write(&args.out.join("fig8_twitter_concentration.csv"), &report::concentration_csv(&conc));
+    // At national scale the raw curves hold one point per commune-rank
+    // (~36k per section); the export reservoir-samples each section down
+    // to a plot-sized, seed-deterministic subset. Smaller scales fall
+    // under the cap and export every point, as before.
+    write(
+        &args.out.join("fig8_twitter_concentration.csv"),
+        &report::concentration_csv_sampled(&conc, 4096, args.seed),
+    );
     println!(
         "fig8: top 1% of communes carry {:.0}% (paper >50%), top 10% carry {:.0}% (paper >90%) of Twitter traffic",
         conc.top1_share * 100.0,

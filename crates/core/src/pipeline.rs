@@ -46,6 +46,9 @@ pub enum Scale {
     Medium,
     /// Full France scale: 36,000 communes, 30 M subscribers.
     France,
+    /// The paper-scale measurement tier: France geography with ~10⁸
+    /// sessions over the week, streamed in bounded memory.
+    National,
 }
 
 impl Scale {
@@ -55,6 +58,7 @@ impl Scale {
             Scale::Small => StudyConfig::small(),
             Scale::Medium => StudyConfig::medium(),
             Scale::France => StudyConfig::france_scale(),
+            Scale::National => StudyConfig::national(),
         }
     }
 
@@ -64,6 +68,7 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::France => "france",
+            Scale::National => "national",
         }
     }
 }
@@ -76,6 +81,7 @@ impl FromStr for Scale {
             "small" => Ok(Scale::Small),
             "medium" => Ok(Scale::Medium),
             "france" | "france-scale" => Ok(Scale::France),
+            "national" => Ok(Scale::National),
             other => Err(Error::UnknownScale(other.to_string())),
         }
     }
@@ -294,7 +300,7 @@ mod tests {
 
     #[test]
     fn scale_names_round_trip() {
-        for scale in [Scale::Small, Scale::Medium, Scale::France] {
+        for scale in [Scale::Small, Scale::Medium, Scale::France, Scale::National] {
             assert_eq!(scale.name().parse::<Scale>().unwrap(), scale);
         }
         assert_eq!("france-scale".parse::<Scale>().unwrap(), Scale::France);

@@ -158,6 +158,25 @@ pub fn intensity_csv(profiles: &[ServiceTopicalProfile]) -> String {
 
 /// Figure 8 CSV: concentration curve plus per-user CDF.
 pub fn concentration_csv(report: &ConcentrationReport) -> String {
+    concentration_csv_sampled(report, usize::MAX, 0)
+}
+
+/// [`concentration_csv`] with each scatter section deterministically
+/// downsampled to at most `max_points` rows — the national-scale export
+/// path, where the three commune-length sections would otherwise emit
+/// >100,000 rows per figure.
+///
+/// Sampling is seeded reservoir selection (Algorithm R over a splitmix64
+/// stream) that always retains each curve's first and last point, with
+/// selected indices re-sorted into curve order. The sample depends only
+/// on `(section length, max_points, seed)` — never on thread count or
+/// chunk size — so a sampled export is bit-identical across any run of
+/// the same study.
+pub fn concentration_csv_sampled(
+    report: &ConcentrationReport,
+    max_points: usize,
+    seed: u64,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -166,17 +185,63 @@ pub fn concentration_csv(report: &ConcentrationReport) -> String {
         report.top1_share,
         report.top10_share
     );
+    let cdf = report.per_user_cdf.curve();
+    let sampled = [&report.dl_curve[..], &report.ul_curve[..], &cdf[..]]
+        .iter()
+        .any(|s| s.len() > max_points);
+    if sampled {
+        let _ = writeln!(out, "# sampled max_points_per_section={max_points} seed={seed}");
+    }
     let _ = writeln!(out, "section,x,y");
-    for (x, y) in &report.dl_curve {
-        let _ = writeln!(out, "dl_concentration,{:.6},{:.6}", x, y);
-    }
-    for (x, y) in &report.ul_curve {
-        let _ = writeln!(out, "ul_concentration,{:.6},{:.6}", x, y);
-    }
-    for (x, y) in report.per_user_cdf.curve() {
-        let _ = writeln!(out, "per_user_cdf_mb,{:.9},{:.6}", x, y);
-    }
+    let mut section = |name: &str, points: &[(f64, f64)], tag: u64, precision: usize| {
+        for i in reservoir_indices(points.len(), max_points, seed ^ tag) {
+            let (x, y) = points[i];
+            let _ = writeln!(out, "{name},{x:.precision$},{y:.6}");
+        }
+    };
+    section("dl_concentration", &report.dl_curve, 0x646c, 6);
+    section("ul_concentration", &report.ul_curve, 0x756c, 6);
+    section("per_user_cdf_mb", &cdf, 0x636466, 9);
     out
+}
+
+/// Deterministically selects at most `k` of `n` indices, sorted
+/// ascending, always retaining 0 and `n - 1`. Classic reservoir
+/// (Algorithm R) over a splitmix64 stream seeded by `seed`: the output is
+/// a pure function of `(n, k, seed)`.
+fn reservoir_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    if k <= 2 {
+        return match (k, n) {
+            (0, _) => Vec::new(),
+            (1, _) => vec![0],
+            (_, 1) => vec![0],
+            _ => vec![0, n - 1],
+        };
+    }
+    let mut state = seed ^ 0x5245_5345_5256_4f49; // "RESERVOI"
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    // Reservoir over the interior 1..n-1; endpoints ride along for free.
+    let interior_k = k - 2;
+    let mut chosen: Vec<usize> = (1..=interior_k).collect();
+    for i in interior_k..(n - 2) {
+        let j = (next() % (i as u64 + 1)) as usize;
+        if j < interior_k {
+            chosen[j] = i + 1;
+        }
+    }
+    chosen.push(0);
+    chosen.push(n - 1);
+    chosen.sort_unstable();
+    chosen
 }
 
 /// Figure 10 CSV: the pairwise r² matrix plus the CDF of pair values.
@@ -367,6 +432,51 @@ mod tests {
         assert!(csv.contains("dl_concentration"));
         assert!(csv.contains("ul_concentration"));
         assert!(csv.contains("per_user_cdf_mb"));
+    }
+
+    #[test]
+    fn sampled_concentration_csv_caps_sections_and_is_reproducible() {
+        let s = study();
+        let report = concentration(s, 7);
+        let n = report.dl_curve.len();
+        assert!(n > 64, "study too small to exercise sampling");
+        let a = concentration_csv_sampled(&report, 64, 42);
+        let b = concentration_csv_sampled(&report, 64, 42);
+        assert_eq!(a, b, "sampling must be deterministic in the seed");
+        let dl_rows = a.lines().filter(|l| l.starts_with("dl_concentration")).count();
+        assert_eq!(dl_rows, 64);
+        assert!(a.contains("# sampled max_points_per_section=64"));
+        // Endpoints survive: the sampled dl section starts and ends on the
+        // full export's first and last dl rows.
+        let full = concentration_csv(&report);
+        let dl_full: Vec<&str> =
+            full.lines().filter(|l| l.starts_with("dl_concentration")).collect();
+        let dl_sampled: Vec<&str> =
+            a.lines().filter(|l| l.starts_with("dl_concentration")).collect();
+        assert_eq!(dl_sampled.first(), dl_full.first());
+        assert_eq!(dl_sampled.last(), dl_full.last());
+        // A different seed selects a different interior.
+        let c = concentration_csv_sampled(&report, 64, 43);
+        assert_ne!(a, c);
+        // An uncapped call is exactly the historical export.
+        assert_eq!(concentration_csv_sampled(&report, usize::MAX, 42), full);
+    }
+
+    #[test]
+    fn reservoir_indices_edge_cases_hold() {
+        assert_eq!(reservoir_indices(5, 10, 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reservoir_indices(5, 5, 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reservoir_indices(0, 3, 1), Vec::<usize>::new());
+        assert_eq!(reservoir_indices(10, 0, 1), Vec::<usize>::new());
+        assert_eq!(reservoir_indices(10, 1, 1), vec![0]);
+        assert_eq!(reservoir_indices(10, 2, 1), vec![0, 9]);
+        for seed in 0..16 {
+            let idx = reservoir_indices(1000, 10, seed);
+            assert_eq!(idx.len(), 10);
+            assert_eq!(idx[0], 0);
+            assert_eq!(idx[9], 999);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted, unique: {idx:?}");
+        }
     }
 
     #[test]

@@ -79,6 +79,29 @@ impl StudyConfig {
         }
     }
 
+    /// The national measurement tier: France-scale geography with session
+    /// thinning relaxed so the week carries ~10⁸ sessions — the paper's
+    /// order of magnitude (30 M subscribers, >36,000 communes, Table 1).
+    ///
+    /// Designed to stream: peak resident records stay bounded by
+    /// `chunk_size × workers` through the [`RecordSource`] engine, and the
+    /// aggregation state is the same ~12 MB of marginal tables per shard
+    /// partial as any other scale — only the record *stream* is two orders
+    /// of magnitude longer.
+    ///
+    /// [`RecordSource`]: mobilenet_netsim::RecordSource
+    pub fn national() -> Self {
+        StudyConfig {
+            country: CountryConfig::national(),
+            traffic: TrafficConfig::national(),
+            netsim: NetsimConfig::standard(),
+            faults: FaultPlan::none(),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            fold: FoldStrategy::Batched,
+            measured: true,
+        }
+    }
+
     /// The same scale without measurement noise (expectations only).
     pub fn expected(mut self) -> Self {
         self.measured = false;

@@ -107,6 +107,15 @@ impl CountryConfig {
         }
     }
 
+    /// The national measurement tier's geography: the paper's Table 1
+    /// coverage (>36,000 communes, 30 M subscribers' home country) — the
+    /// same map as [`CountryConfig::france_scale`], named separately so
+    /// the paper-scale session tier can evolve its geography without
+    /// disturbing the figure-scale preset.
+    pub fn national() -> Self {
+        CountryConfig::france_scale()
+    }
+
     /// Average commune surface implied by the configuration, km².
     pub fn mean_commune_area(&self) -> f64 {
         self.width_km * self.height_km / self.n_communes as f64

@@ -61,7 +61,7 @@ pub use ingest::{
 };
 pub use pipeline::{
     aggregate_batch, collect_with_options, Capture, CollectionOutput, CollectionStats,
-    SyntheticSource,
+    SyntheticSource, ERROR_SAMPLE_CAP,
 };
 pub use probe::Probe;
 pub use radio::RadioNetwork;

@@ -33,6 +33,11 @@ use crate::radio::RadioNetwork;
 use crate::records::{Interface, RecordBatch, SessionRecord};
 use crate::uli::UliModel;
 
+/// Cap on localization-error samples retained per [`CollectionStats`].
+/// Each shard's reservoir stays below this; a 20-shard merge therefore
+/// holds < 20 × 4096 samples regardless of session count.
+pub const ERROR_SAMPLE_CAP: usize = 4096;
+
 /// Diagnostics of one collection run.
 #[derive(Debug, Clone, Default)]
 pub struct CollectionStats {
@@ -50,8 +55,16 @@ pub struct CollectionStats {
     pub misassigned_sessions: u64,
     /// Sessions with a stale ULI fix.
     pub stale_fixes: u64,
-    /// Sampled localization errors, km (every 16th session of each shard).
+    /// Sampled localization errors, km (every 16th session of each shard,
+    /// further thinned by [`CollectionStats::push_error_sample`] so the
+    /// reservoir stays bounded at any session count).
     pub sampled_errors_km: Vec<f64>,
+    /// Error samples offered to the reservoir so far (pre-thinning).
+    pub error_samples_seen: u64,
+    /// Current thinning stride of the error reservoir: every
+    /// `error_sample_thin`-th offered sample is retained (0 is treated as
+    /// 1, i.e. keep everything until the cap is first reached).
+    pub error_sample_thin: u64,
     /// Degradation inflicted by the fault plan (all-zero when collecting
     /// with [`FaultPlan::none`](crate::faults::FaultPlan::none)).
     pub faults: FaultStats,
@@ -75,8 +88,40 @@ impl CollectionStats {
         self.misassigned_sessions += other.misassigned_sessions;
         self.stale_fixes += other.stale_fixes;
         self.sampled_errors_km.extend_from_slice(&other.sampled_errors_km);
+        self.error_samples_seen += other.error_samples_seen;
+        self.error_sample_thin = self.error_sample_thin.max(other.error_sample_thin);
         self.faults.merge(&other.faults);
         self.skipped_lines += other.skipped_lines;
+    }
+
+    /// Offers one localization-error sample to the bounded reservoir.
+    ///
+    /// Doubling-thinning: samples are kept every `error_sample_thin`-th
+    /// offer; when the retained set reaches [`ERROR_SAMPLE_CAP`] the
+    /// even-indexed half is kept and the stride doubles, so the vector
+    /// never exceeds the cap no matter how many sessions stream through
+    /// (at paper scale the old unbounded push grew by ~6 M samples per
+    /// 10⁸ sessions). Deterministic: retention depends only on how many
+    /// samples this struct has seen, and shards each own their stats, so
+    /// the merged reservoir is identical at any thread count and chunk
+    /// size.
+    pub fn push_error_sample(&mut self, km: f64) {
+        if self.error_sample_thin == 0 {
+            self.error_sample_thin = 1;
+        }
+        if self.error_samples_seen.is_multiple_of(self.error_sample_thin) {
+            self.sampled_errors_km.push(km);
+            if self.sampled_errors_km.len() >= ERROR_SAMPLE_CAP {
+                let mut i = 0usize;
+                self.sampled_errors_km.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.error_sample_thin *= 2;
+            }
+        }
+        self.error_samples_seen += 1;
     }
 
     /// Fraction of the volume the classifier attributed to a service.
@@ -396,9 +441,7 @@ impl RecordSource for SyntheticSource<'_> {
                 // scale. We keep the direct definition: distance from the
                 // true position to the recorded commune's centroid.
                 let recorded = self.country.commune(record.commune);
-                stats
-                    .sampled_errors_km
-                    .push(session.position.distance(&recorded.centroid));
+                stats.push_error_sample(session.position.distance(&recorded.centroid));
             }
             if self.faulted {
                 self.injector.apply(&record, &mut fault_rng, &mut fault_stats, |degraded| {

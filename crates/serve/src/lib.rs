@@ -40,4 +40,4 @@ pub mod server;
 
 pub use live::{LiveSnapshot, LiveState};
 pub use query::{answer, Command, SnapshotQuery};
-pub use server::{spawn_server, ServerHandle};
+pub use server::{spawn_server, ServerHandle, MAX_LINE_BYTES};

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! request   = query | "QUIT" | "SHUTDOWN"
-//! query     = "RANK" dir k          ; top-k service ranking
+//! query     = "RANK" dir k          ; top-k service ranking, 1 <= k <= |head|
 //!           | "R2" dir              ; pairwise spatial correlation
 //!           | "PEAKS" dir           ; topical peak profiles
 //!           | "SERIES" dir service  ; national hourly series up to the watermark
@@ -170,6 +170,15 @@ fn answer_snapshot(
     let head = state.catalog().head();
     match query {
         SnapshotQuery::Ranking { dir, k } => {
+            // `top_k_services` itself clamps, but the protocol surfaces
+            // the bound explicitly: a client asking for 0 or more than
+            // the head holds gets an ERR, never a silently-resized body.
+            if *k == 0 {
+                return Err("k must be at least 1".into());
+            }
+            if *k > head.len() {
+                return Err(format!("k {k} out of range (head has {})", head.len()));
+            }
             let top = top_k_services(&snap.dataset, head, *dir, *k);
             Ok(top
                 .iter()

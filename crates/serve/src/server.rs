@@ -11,19 +11,37 @@
 //! `OK <n>` plus `n` body lines, or `ERR <message>`. `QUIT` ends the
 //! connection; `SHUTDOWN` ends the connection and stops the server.
 //!
+//! The server defends itself against misbehaving clients: protocol lines
+//! are capped at [`MAX_LINE_BYTES`] (an overlong line is answered with
+//! `ERR line too long` and drained without ever buffering it), and client
+//! sockets carry a read timeout so idle connections periodically re-check
+//! the stop flag instead of pinning their threads past `SHUTDOWN`.
+//!
 //! The server publishes its own observability metrics:
-//! `serve.connections`, `serve.queries`, `serve.query_errors` (counters)
-//! and `serve.active_clients` (gauge) — all visible through the `HEALTH`
-//! verb alongside the `netsim.ingest.*` family.
+//! `serve.connections`, `serve.queries`, `serve.query_errors`,
+//! `serve.dropped_lines` (counters) and `serve.active_clients` (gauge) —
+//! all visible through the `HEALTH` verb alongside the `netsim.ingest.*`
+//! family.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::live::LiveState;
 use crate::query::{answer, Command};
+
+/// Longest accepted protocol request line, bytes (newline included).
+/// Every valid query fits in well under 100 bytes; the cap only exists so
+/// a client streaming garbage without `\n` cannot grow the line buffer
+/// without bound.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// How long a client read blocks before waking to re-check the server
+/// stop flag. Keeps `SHUTDOWN` effective even with idle clients attached.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Shared server control block.
 struct ServerShared {
@@ -118,15 +136,91 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     }
 }
 
-/// Serves one connection until `QUIT`/`SHUTDOWN`/EOF.
+/// One bounded line-read outcome.
+enum LineRead {
+    /// A complete line of at most [`MAX_LINE_BYTES`] arrived.
+    Line,
+    /// The peer closed the connection (a trailing unterminated fragment
+    /// is dropped — it was never a request).
+    Eof,
+    /// The server stop flag was raised while waiting.
+    Stopped,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the excess was drained up to
+    /// its newline without being buffered.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `line`, buffering at most
+/// [`MAX_LINE_BYTES`] and draining (not storing) anything longer. Read
+/// timeouts are treated as ticks to re-check `stop`, so a silent client
+/// cannot pin this thread past a shutdown.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    stop: &AtomicBool,
+    line: &mut String,
+) -> io::Result<LineRead> {
+    line.clear();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(LineRead::Stopped);
+        }
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if !overflowed {
+            if buf.len() + take > MAX_LINE_BYTES {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&available[..take]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            if overflowed {
+                return Ok(LineRead::TooLong);
+            }
+            *line = String::from_utf8_lossy(&buf).into_owned();
+            return Ok(LineRead::Line);
+        }
+    }
+}
+
+/// Serves one connection until `QUIT`/`SHUTDOWN`/EOF/server stop.
 fn serve_client(stream: TcpStream, shared: &Arc<ServerShared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF
+        match read_bounded_line(&mut reader, &shared.stop, &mut line)? {
+            LineRead::Eof | LineRead::Stopped => return Ok(()),
+            LineRead::TooLong => {
+                mobilenet_obs::add("serve.dropped_lines", 1);
+                mobilenet_obs::add("serve.query_errors", 1);
+                writeln!(writer, "ERR line too long (max {MAX_LINE_BYTES} bytes)")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line => {}
         }
         if line.trim().is_empty() {
             continue;

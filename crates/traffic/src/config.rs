@@ -78,6 +78,15 @@ impl TrafficConfig {
         TrafficConfig { n_tail_services: 80, volume_scale: 200.0, ..Self::standard() }
     }
 
+    /// The national measurement tier: [`TrafficConfig::standard`] with
+    /// session thinning relaxed to `volume_scale = 10`, so a France-scale
+    /// geography (30 M residents, 45% subscriber share) emits sessions at
+    /// the paper's order of magnitude — ~10⁸ over the week — instead of
+    /// the figure-generation tier's ~10⁶–10⁷.
+    pub fn national() -> Self {
+        TrafficConfig { volume_scale: 10.0, ..Self::standard() }
+    }
+
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.subscriber_share) {
@@ -129,6 +138,16 @@ mod tests {
     fn presets_validate() {
         TrafficConfig::standard().validate().unwrap();
         TrafficConfig::fast().validate().unwrap();
+        TrafficConfig::national().validate().unwrap();
+    }
+
+    #[test]
+    fn national_relaxes_thinning_only() {
+        let national = TrafficConfig::national();
+        let standard = TrafficConfig::standard();
+        assert!(national.volume_scale < standard.volume_scale / 3.0);
+        assert_eq!(national.n_tail_services, standard.n_tail_services);
+        assert_eq!(national.subscriber_share, standard.subscriber_share);
     }
 
     #[test]

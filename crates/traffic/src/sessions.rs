@@ -332,8 +332,8 @@ mod tests {
         let netflix =
             m.catalog().head().iter().position(|s| s.name == "Netflix").unwrap() as u16;
         let mms = m.catalog().head().iter().position(|s| s.name == "MMS").unwrap() as u16;
-        let mut netflix_4g = (0u32, 0u32);
-        let mut mms_4g = (0u32, 0u32);
+        let mut netflix_4g = (0u64, 0u64);
+        let mut mms_4g = (0u64, 0u64);
         SessionGenerator::new(&m, 5).generate(|s| {
             let covered = m.country().communes()[s.commune.index()].coverage.has_4g;
             if !covered {

@@ -11,7 +11,9 @@
 //! mobilenet query     [--addr A] [--body-only] Q...      scripted client for a running server
 //! ```
 //!
-//! Scales: `small` (1k communes), `medium` (6k), `france` (36k).
+//! Scales: `small` (1k communes), `medium` (6k), `france` (36k),
+//! `national` (36k communes at paper session counts, ~10⁸ over the week,
+//! streamed in bounded memory).
 //!
 //! Every command also accepts `--threads N` to pin the worker count of the
 //! parallel pipeline stages (default: `MOBILENET_THREADS` or all cores) —
@@ -67,7 +69,7 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mobilenet <overview|ranking|peaks|map|forecast|export|serve|query> \
-         [--scale small|medium|france] [--seed N] [--uplink] \
+         [--scale small|medium|france|national] [--seed N] [--uplink] \
          [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE] \
          [--faults SPEC] [--chunk-size N] [--addr HOST:PORT] [--body-only] [QUERY...]"
     );

@@ -212,3 +212,83 @@ fn server_answers_concurrent_clients_during_ingestion() {
     assert!(resp.is_empty());
     server.shutdown();
 }
+
+#[test]
+fn protocol_edges_err_and_never_panic() {
+    // Out-of-range operands and hostile framing must all degrade to ERR
+    // (or a drop) on the same connection — never a panicked client
+    // thread or an unboundedly growing line buffer.
+    mobilenet::obs::set_enabled(Some(true));
+    let state = live_state(FaultPlan::none(), DEFAULT_SEED);
+    state.run_ingestion().expect("live ingestion succeeds");
+    let mut server =
+        mobilenet::spawn_server(state.clone(), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.addr();
+    let head_len = state.catalog().head().len();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // RANK bounds: k = 0 and k > |head| are protocol errors, the bounds
+    // themselves are fine.
+    let err = request(&mut reader, &mut writer, "RANK dl 0").expect_err("k=0 is rejected");
+    assert!(err.contains("at least 1"), "unexpected message {err:?}");
+    let err = request(&mut reader, &mut writer, &format!("RANK dl {}", head_len + 1))
+        .expect_err("k>n is rejected");
+    assert!(err.contains("out of range"), "unexpected message {err:?}");
+    let full = request(&mut reader, &mut writer, &format!("RANK dl {head_len}"))
+        .expect("k=n answers");
+    assert_eq!(full.len(), head_len);
+    // An absurd k parses as usize but is out of range; a non-numeric k
+    // fails the parse. Both are ERRs, not panics.
+    assert!(request(&mut reader, &mut writer, "RANK dl 18446744073709551615").is_err());
+    assert!(request(&mut reader, &mut writer, "RANK dl twenty").is_err());
+
+    // SERIES bounds: service index past the head is rejected, the last
+    // valid index answers.
+    let err = request(&mut reader, &mut writer, &format!("SERIES dl {head_len}"))
+        .expect_err("service>=n is rejected");
+    assert!(err.contains("out of range"), "unexpected message {err:?}");
+    assert!(request(&mut reader, &mut writer, &format!("SERIES dl {}", head_len - 1)).is_ok());
+
+    // A no-newline flood far past the line cap: the server drains it,
+    // answers one ERR, and the connection keeps working.
+    let flood = vec![b'A'; 16 * mobilenet::serve::MAX_LINE_BYTES];
+    writer.write_all(&flood).expect("write flood");
+    writer.write_all(b"\n").expect("terminate flood");
+    writer.flush().expect("flush flood");
+    let mut head = String::new();
+    reader.read_line(&mut head).expect("flood response");
+    assert!(head.starts_with("ERR line too long"), "unexpected response {head:?}");
+    let watermark =
+        request(&mut reader, &mut writer, "WATERMARK").expect("connection survives the flood");
+    assert!(watermark[0].contains("complete true"));
+
+    // The drop is counted.
+    let snapshot = mobilenet::obs::snapshot();
+    assert_eq!(snapshot.counter("serve.dropped_lines"), Some(1));
+
+    writeln!(writer, "QUIT").expect("quit");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_disconnects_idle_clients() {
+    // An idle client holds no request open; shutdown() must still
+    // propagate — the read timeout wakes the client thread, it observes
+    // the stop flag and closes the socket, so the peer sees EOF instead
+    // of a connection pinned forever.
+    let state = live_state(FaultPlan::none(), DEFAULT_SEED);
+    state.run_ingestion().expect("live ingestion succeeds");
+    let mut server =
+        mobilenet::spawn_server(state, "127.0.0.1:0").expect("bind ephemeral port");
+    let idle = TcpStream::connect(server.addr()).expect("connect");
+    idle.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
+    // Give the accept loop a moment to hand the connection off.
+    let mut probe = BufReader::new(idle.try_clone().expect("clone"));
+    server.shutdown();
+    let mut line = String::new();
+    let n = probe.read_line(&mut line).expect("idle client sees EOF, not a timeout");
+    assert_eq!(n, 0, "server closed the idle connection after shutdown");
+}

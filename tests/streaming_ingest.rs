@@ -12,6 +12,11 @@
 //! * the ingest counters reported through the observability layer agree
 //!   with the stats the pipeline returns.
 
+use mobilenet::netsim::records::FlowSignature;
+use mobilenet::netsim::{
+    stream_shard_chunked, ChunkSink, CollectionStats, IngestError, IngestMeter, Interface,
+    RecordSource, SessionRecord, ERROR_SAMPLE_CAP,
+};
 use mobilenet::par::set_thread_override;
 use mobilenet::{FaultPlan, FoldStrategy, Pipeline, Scale, DEFAULT_SEED};
 
@@ -151,6 +156,88 @@ fn batched_fold_matches_row_at_a_time_reference_under_faults() {
         }
     }
     set_thread_override(None);
+}
+
+/// A source standing in for a paper-scale shard: it *reports* more than
+/// `u32::MAX` sessions and records through its diagnostics while only
+/// materializing a handful of records — the counter-width regression
+/// harness for national-scale runs (10⁸ real records and beyond).
+struct VirtualScaleSource;
+
+/// Virtual per-shard session count, comfortably past the 32-bit wrap.
+const VIRTUAL_SESSIONS: u64 = u32::MAX as u64 + 17;
+
+impl RecordSource for VirtualScaleSource {
+    fn shards(&self) -> usize {
+        3
+    }
+
+    fn stream_shard(
+        &self,
+        shard: usize,
+        stats: &mut CollectionStats,
+        sink: &mut ChunkSink<'_>,
+    ) -> Result<(), IngestError> {
+        stats.sessions += VIRTUAL_SESSIONS;
+        stats.gn_records += VIRTUAL_SESSIONS - 5;
+        stats.s5s8_records += 5;
+        stats.misassigned_sessions += u32::MAX as u64 + 3;
+        stats.stale_fixes += u32::MAX as u64 + 1;
+        // Offer far more error samples than the reservoir cap; retention
+        // must stay bounded while the seen count keeps exact u64 track.
+        for i in 0..(4 * ERROR_SAMPLE_CAP as u64) {
+            stats.push_error_sample((shard as u64 * 7 + i) as f64);
+        }
+        for h in 0..4u16 {
+            sink.push(&SessionRecord {
+                interface: Interface::Gn,
+                start_hour: h,
+                dl_mb: 1.0,
+                ul_mb: 0.25,
+                commune: mobilenet::geo::CommuneId(0),
+                signature: FlowSignature(0),
+                stale_uli: false,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn virtual_records_past_u32_max_do_not_wrap_any_counter() {
+    let source = VirtualScaleSource;
+    let meter = IngestMeter::new();
+    let mut merged = CollectionStats::default();
+    for shard in 0..source.shards() {
+        let mut stats = CollectionStats::default();
+        let mut records = 0u64;
+        stream_shard_chunked(&source, shard, 2, &meter, &mut stats, |batch| {
+            records += batch.len() as u64;
+        })
+        .expect("virtual shard streams");
+        assert_eq!(records, 4);
+        assert_eq!(stats.sessions, VIRTUAL_SESSIONS, "per-shard count wrapped");
+        assert!(
+            stats.sampled_errors_km.len() < ERROR_SAMPLE_CAP,
+            "reservoir exceeded its cap: {}",
+            stats.sampled_errors_km.len()
+        );
+        assert_eq!(stats.error_samples_seen, 4 * ERROR_SAMPLE_CAP as u64);
+        assert!(stats.error_sample_thin >= 2, "thinning never engaged");
+        merged.merge(&stats);
+    }
+    // Merging three >u32::MAX partials crosses the wrap boundary again;
+    // every diagnostic must stay exact.
+    assert_eq!(merged.sessions, 3 * VIRTUAL_SESSIONS);
+    assert_eq!(merged.gn_records + merged.s5s8_records, 3 * VIRTUAL_SESSIONS);
+    assert!(merged.sessions > u32::MAX as u64);
+    assert!(merged.misassigned_sessions > u32::MAX as u64);
+    assert!(merged.stale_fixes > u32::MAX as u64);
+    assert!(merged.misassignment_rate() > 0.99 && merged.misassignment_rate() <= 1.0);
+    assert!(merged.median_error_km().is_finite());
+    let ingest = meter.stats(2, 1, 0);
+    assert_eq!(ingest.records, 12, "the engine folded only the real records");
+    assert!(ingest.peak_resident_records <= ingest.resident_budget());
 }
 
 #[test]
