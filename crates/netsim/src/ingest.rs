@@ -214,6 +214,10 @@ pub struct IngestStats {
     pub chunk_size: usize,
     /// Workers the engine drove (`min(threads, shards)`).
     pub workers: usize,
+    /// Ingestion cycles folded through the engine — 1 for a batch run,
+    /// the number of weeks folded into the 168-hour ring for a
+    /// multi-week live run ([`IngestMeter::note_cycle`]).
+    pub cycles: u64,
 }
 
 impl IngestStats {
@@ -230,6 +234,7 @@ struct IngestLedger {
     records: AtomicU64,
     resident: AtomicU64,
     peak_resident: AtomicU64,
+    cycles: AtomicU64,
 }
 
 /// The bounded buffer a [`RecordSource`] pushes one shard's records into.
@@ -355,7 +360,8 @@ impl IngestMeter {
     ///
     /// `chunk_size`/`workers` describe the run configuration and
     /// `bytes_read` comes from the source ([`RecordSource::bytes_read`]);
-    /// the meter itself tracks chunks, records and peak residency.
+    /// the meter itself tracks chunks, records, peak residency and
+    /// cycles.
     pub fn stats(&self, chunk_size: usize, workers: usize, bytes_read: u64) -> IngestStats {
         IngestStats {
             chunks: self.ledger.chunks.load(Ordering::Relaxed),
@@ -364,7 +370,16 @@ impl IngestMeter {
             bytes_read,
             chunk_size,
             workers,
+            cycles: self.ledger.cycles.load(Ordering::Relaxed),
         }
+    }
+
+    /// Marks the start of one ingestion cycle — a driver folding several
+    /// weeks through the same meter (the live week-ring) calls this once
+    /// per week, so `IngestStats::cycles` counts weeks folded while every
+    /// other counter stays cumulative across the whole run.
+    pub fn note_cycle(&self) {
+        self.ledger.cycles.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -467,6 +482,7 @@ where
         bytes_read: source.bytes_read(),
         chunk_size,
         workers,
+        cycles: 1,
     };
     record_ingest_metrics(&ingest);
     if mobilenet_obs::enabled() {

@@ -1,26 +1,50 @@
-//! Snapshot queries and the line protocol they travel over.
+//! Snapshot queries, session verbs and the line protocol they travel
+//! over.
 //!
-//! # Protocol grammar
+//! # Protocol grammar (`mobilenet-serve/v2`)
 //!
 //! One request per line, case-insensitive verb, space-separated operands;
 //! `<dir>` is `dl` or `ul`:
 //!
 //! ```text
-//! request   = query | "QUIT" | "SHUTDOWN"
-//! query     = "RANK" dir k          ; top-k service ranking, 1 <= k <= |head|
-//!           | "R2" dir              ; pairwise spatial correlation
-//!           | "PEAKS" dir           ; topical peak profiles
-//!           | "SERIES" dir service  ; national hourly series up to the watermark
-//!           | "WATERMARK"           ; frontier / completeness / version
-//!           | "STATS"               ; ingestion accounting
-//!           | "DATASET"             ; full dataset CSV (batch-export format)
-//!           | "HEALTH"              ; serve.* + netsim.ingest.* obs metrics
+//! request   = session | query | "QUIT" | "SHUTDOWN"
+//! session   = "HELLO"                   ; protocol version + capabilities
+//!           | "LIST"                    ; registered studies
+//!           | "USE" study               ; select a study for this connection
+//!           | "START" study scale [seed [weeks]]
+//!                                       ; register + start a study (admin)
+//!           | "SUBSCRIBE" topics        ; stream framed delta events
+//! query     = "RANK" dir k              ; top-k service ranking, 1 <= k <= |head|
+//!           | "R2" dir                  ; pairwise spatial correlation
+//!           | "PEAKS" dir               ; topical peak profiles
+//!           | "SERIES" dir service      ; national hourly series up to the watermark
+//!           | "AUTOCORR" dir [lag]      ; hour-lag autocorrelation (default lag 24)
+//!           | "WATERMARK"               ; frontier / completeness / version / week
+//!           | "STATS"                   ; ingestion accounting
+//!           | "DATASET"                 ; full dataset CSV (batch-export format)
+//!           | "HEALTH"                  ; serve.* + netsim.ingest.* obs metrics
+//! topics    = "all" | topic *("," topic)
+//! topic     = "watermark" | "version" | "rank" | "autocorr"
 //! dir       = "dl" | "ul"
 //! ```
 //!
 //! Responses are framed as `OK <n>` followed by exactly `n` body lines,
-//! or a single `ERR <message>` line. `QUIT` closes the connection
-//! (without a response); `SHUTDOWN` additionally stops the server.
+//! or a single `ERR <message>` line; parse errors use the unified shape
+//! `ERR bad <verb>: <token> (expected ...)` so clients can surface the
+//! offending token. `QUIT` closes the connection (without a response);
+//! `SHUTDOWN` additionally stops the server — including any connection
+//! that is mid-`SUBSCRIBE`.
+//!
+//! `SUBSCRIBE` answers `OK 0` and then switches the connection to event
+//! framing: one `EVENT <seq> <payload>` line per delta (payload codec in
+//! [`crate::subscribe::DeltaEvent`]), terminated by an `end` event after
+//! which the connection returns to command mode. `<seq>` is a
+//! per-subscription counter that *advances on drops*, so a gap tells the
+//! client it lagged (see `serve.subscriber_lagged`).
+//!
+//! Queries need a selected study: connections start on the only
+//! registered study when there is exactly one (the v1-compatible case)
+//! and otherwise must `USE` one first.
 //!
 //! Floating-point values render with `{:e}` — the trace/CSV notation the
 //! rest of the workspace round-trips — so two bit-identical snapshots
@@ -34,6 +58,11 @@ use mobilenet_core::{spatial_correlation_of, top_k_services, topical_profiles_of
 use mobilenet_traffic::Direction;
 
 use crate::live::{LiveSnapshot, LiveState};
+use crate::subscribe::{Topic, AUTOCORR_LAG_HOURS};
+
+/// The protocol version `HELLO` reports. Bump when the grammar changes
+/// incompatibly.
+pub const PROTOCOL_VERSION: &str = "mobilenet-serve/v2";
 
 /// A read-only question about the current live aggregate.
 ///
@@ -66,7 +95,15 @@ pub enum SnapshotQuery {
         /// Head-service index.
         service: usize,
     },
-    /// Observed frontier, completeness and state version.
+    /// Hour-lag autocorrelation of the head services' national series
+    /// over the observed window (the subscription statistic, on demand).
+    Autocorr {
+        /// Direction measured.
+        dir: Direction,
+        /// Hour lag (`AUTOCORR` defaults this to 24, the diurnal period).
+        lag: usize,
+    },
+    /// Observed frontier, completeness, state version and week position.
     Watermark,
     /// Streaming-engine accounting.
     Stats,
@@ -77,9 +114,33 @@ pub enum SnapshotQuery {
     Health,
 }
 
-/// One parsed protocol line: a query or a connection-control verb.
+/// One parsed protocol line: a session verb, a query, or a
+/// connection-control verb.
+///
+/// `#[non_exhaustive]`: new verbs are non-breaking; construct via
+/// [`Command::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Command {
+    /// Protocol version + capability handshake.
+    Hello,
+    /// Enumerate registered studies.
+    List,
+    /// Select a study for this connection.
+    Use(String),
+    /// Register and start a new study.
+    Start {
+        /// Registry name for the new study.
+        name: String,
+        /// Scale tier token (`small`/`medium`/`france`/`national`).
+        scale: String,
+        /// Demand-model seed (registry default when absent).
+        seed: Option<u64>,
+        /// Weeks to fold through the ring (default 1).
+        weeks: Option<usize>,
+    },
+    /// Stream delta events for the selected topics.
+    Subscribe(Vec<Topic>),
     /// Answer a snapshot query.
     Query(SnapshotQuery),
     /// Close this connection.
@@ -88,18 +149,60 @@ pub enum Command {
     Shutdown,
 }
 
-fn parse_dir(token: &str) -> Result<Direction, String> {
+/// Parses a wire direction token (`dl`/`ul`).
+pub fn parse_dir(token: &str) -> Result<Direction, String> {
     match token.to_ascii_lowercase().as_str() {
         "dl" => Ok(Direction::Down),
         "ul" => Ok(Direction::Up),
-        other => Err(format!("unknown direction {other:?} (expected dl or ul)")),
+        other => Err(format!("{other} (expected dl or ul)")),
     }
+}
+
+/// The wire token of a direction (inverse of [`parse_dir`]).
+pub fn dir_token(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Down => "dl",
+        Direction::Up => "ul",
+    }
+}
+
+/// Pearson autocorrelation of `series` at `lag` hours: the correlation
+/// between the series and itself shifted by `lag`. `None` when the
+/// series is shorter than `lag + 2` points or either window is
+/// constant (no defined correlation) — never NaN.
+///
+/// This is the Jo-style handset-usage temporal statistic (PAPERS.md):
+/// at lag 24 it measures how faithfully a service repeats its diurnal
+/// rhythm day over day.
+pub fn hour_lag_autocorr(series: &[f64], lag: usize) -> Option<f64> {
+    if lag == 0 || series.len() < lag + 2 {
+        return None;
+    }
+    let n = series.len() - lag;
+    let lead = &series[..n];
+    let shifted = &series[lag..];
+    let mean_lead = lead.iter().sum::<f64>() / n as f64;
+    let mean_shift = shifted.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_lead = 0.0;
+    let mut var_shift = 0.0;
+    for i in 0..n {
+        let da = lead[i] - mean_lead;
+        let db = shifted[i] - mean_shift;
+        cov += da * db;
+        var_lead += da * da;
+        var_shift += db * db;
+    }
+    if var_lead == 0.0 || var_shift == 0.0 {
+        return None;
+    }
+    Some(cov / (var_lead * var_shift).sqrt())
 }
 
 impl SnapshotQuery {
     /// Parses one protocol line into a query (see the module docs for
-    /// the grammar). Connection-control verbs are rejected here; use
-    /// [`Command::parse`] when speaking the full protocol.
+    /// the grammar). Session and connection-control verbs are rejected
+    /// here; use [`Command::parse`] when speaking the full protocol.
     pub fn parse(line: &str) -> Result<SnapshotQuery, String> {
         match Command::parse(line)? {
             Command::Query(q) => Ok(q),
@@ -109,31 +212,77 @@ impl SnapshotQuery {
 }
 
 impl Command {
-    /// Parses one protocol line.
+    /// Parses one protocol line. Errors carry the offending token in the
+    /// unified `bad <verb>: <token> (expected ...)` shape.
     pub fn parse(line: &str) -> Result<Command, String> {
         let mut tokens = line.split_whitespace();
-        let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+        let verb = tokens
+            .next()
+            .ok_or_else(|| "bad request: empty line (expected a verb)".to_string())?
+            .to_ascii_uppercase();
         let mut operand = |name: &str| {
             tokens
                 .next()
-                .ok_or_else(|| format!("{} requires {name}", verb.to_ascii_uppercase()))
+                .ok_or_else(|| format!("bad {verb}: missing {name}"))
         };
-        let cmd = match verb.to_ascii_uppercase().as_str() {
+        let cmd = match verb.as_str() {
+            "HELLO" => Command::Hello,
+            "LIST" => Command::List,
+            "USE" => Command::Use(operand("<study>")?.to_string()),
+            "START" => {
+                let name = operand("<study>")?.to_string();
+                let scale = operand("<scale>")?.to_string();
+                let seed = match tokens.next() {
+                    None => None,
+                    Some(t) => Some(t.parse::<u64>().map_err(|_| {
+                        format!("bad START: {t} (expected an integer seed)")
+                    })?),
+                };
+                let weeks = match tokens.next() {
+                    None => None,
+                    Some(t) => Some(t.parse::<usize>().map_err(|_| {
+                        format!("bad START: {t} (expected an integer week count)")
+                    })?),
+                };
+                Command::Start { name, scale, seed, weeks }
+            }
+            "SUBSCRIBE" => Command::Subscribe(Topic::parse_list(operand("<topics>")?)?),
             "RANK" => {
-                let dir = parse_dir(operand("<dir> <k>")?)?;
-                let k = operand("<dir> <k>")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("bad k: {e}"))?;
+                let dir = operand("<dir> <k>")
+                    .and_then(|t| parse_dir(t).map_err(|e| format!("bad RANK: {e}")))?;
+                let k = operand("<dir> <k>").and_then(|t| {
+                    t.parse::<usize>()
+                        .map_err(|_| format!("bad RANK: {t} (expected an integer k)"))
+                })?;
                 Command::Query(SnapshotQuery::Ranking { dir, k })
             }
-            "R2" => Command::Query(SnapshotQuery::PairwiseR2 { dir: parse_dir(operand("<dir>")?)? }),
-            "PEAKS" => Command::Query(SnapshotQuery::Peaks { dir: parse_dir(operand("<dir>")?)? }),
+            "R2" => Command::Query(SnapshotQuery::PairwiseR2 {
+                dir: operand("<dir>")
+                    .and_then(|t| parse_dir(t).map_err(|e| format!("bad R2: {e}")))?,
+            }),
+            "PEAKS" => Command::Query(SnapshotQuery::Peaks {
+                dir: operand("<dir>")
+                    .and_then(|t| parse_dir(t).map_err(|e| format!("bad PEAKS: {e}")))?,
+            }),
             "SERIES" => {
-                let dir = parse_dir(operand("<dir> <service>")?)?;
-                let service = operand("<dir> <service>")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("bad service index: {e}"))?;
+                let dir = operand("<dir> <service>")
+                    .and_then(|t| parse_dir(t).map_err(|e| format!("bad SERIES: {e}")))?;
+                let service = operand("<dir> <service>").and_then(|t| {
+                    t.parse::<usize>()
+                        .map_err(|_| format!("bad SERIES: {t} (expected a service index)"))
+                })?;
                 Command::Query(SnapshotQuery::Series { dir, service })
+            }
+            "AUTOCORR" => {
+                let dir = operand("<dir> [lag]")
+                    .and_then(|t| parse_dir(t).map_err(|e| format!("bad AUTOCORR: {e}")))?;
+                let lag = match tokens.next() {
+                    None => AUTOCORR_LAG_HOURS,
+                    Some(t) => t.parse::<usize>().map_err(|_| {
+                        format!("bad AUTOCORR: {t} (expected an integer hour lag)")
+                    })?,
+                };
+                Command::Query(SnapshotQuery::Autocorr { dir, lag })
             }
             "WATERMARK" => Command::Query(SnapshotQuery::Watermark),
             "STATS" => Command::Query(SnapshotQuery::Stats),
@@ -141,10 +290,15 @@ impl Command {
             "HEALTH" => Command::Query(SnapshotQuery::Health),
             "QUIT" => Command::Quit,
             "SHUTDOWN" => Command::Shutdown,
-            other => return Err(format!("unknown verb {other:?}")),
+            other => {
+                return Err(format!(
+                    "bad verb: {other} (expected HELLO, LIST, USE, START, SUBSCRIBE, RANK, R2, \
+                     PEAKS, SERIES, AUTOCORR, WATERMARK, STATS, DATASET, HEALTH, QUIT or SHUTDOWN)"
+                ))
+            }
         };
-        if tokens.next().is_some() {
-            return Err("trailing operands".into());
+        if let Some(extra) = tokens.next() {
+            return Err(format!("bad {verb}: {extra} (unexpected trailing operand)"));
         }
         Ok(cmd)
     }
@@ -218,9 +372,38 @@ fn answer_snapshot(
             let values: Vec<String> = window.iter().map(|v| format!("{v:e}")).collect();
             Ok(vec![format!("{} {}", head[*service].name, values.join(" "))])
         }
+        SnapshotQuery::Autocorr { dir, lag } => {
+            if *lag == 0 {
+                return Err("lag must be at least 1".into());
+            }
+            let window = snap.watermark_hour;
+            let mut lines = Vec::with_capacity(head.len() + 1);
+            let mut sum = 0.0;
+            let mut defined = 0usize;
+            let mut body = Vec::with_capacity(head.len());
+            for (service, spec) in head.iter().enumerate() {
+                let series = snap.dataset.national_series_window(*dir, service, 0, window);
+                match hour_lag_autocorr(series, *lag) {
+                    Some(r) => {
+                        sum += r;
+                        defined += 1;
+                        body.push(format!("{} {:e}", spec.name, r));
+                    }
+                    None => body.push(format!("{} -", spec.name)),
+                }
+            }
+            let mean = if defined > 0 {
+                format!("{:e}", sum / defined as f64)
+            } else {
+                "-".to_string()
+            };
+            lines.push(format!("lag {lag} window {window} mean {mean}"));
+            lines.extend(body);
+            Ok(lines)
+        }
         SnapshotQuery::Watermark => Ok(vec![format!(
-            "hour {} complete {} version {}",
-            snap.watermark_hour, snap.complete, snap.version
+            "hour {} complete {} version {} week {} weeks {}",
+            snap.watermark_hour, snap.complete, snap.version, snap.week, snap.weeks
         )]),
         SnapshotQuery::Stats => {
             let i = &snap.ingest;
@@ -232,6 +415,7 @@ fn answer_snapshot(
                 format!("bytes_read {}", i.bytes_read),
                 format!("chunk_size {}", i.chunk_size),
                 format!("workers {}", i.workers),
+                format!("cycles {}", i.cycles),
                 format!("sessions {}", snap.stats.sessions),
                 format!("lost_records {}", snap.stats.faults.lost_total()),
             ])
@@ -253,5 +437,57 @@ fn answer_snapshot(
             }
             Ok(lines)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_verbs_parse_and_errors_carry_the_offending_token() {
+        assert_eq!(Command::parse("hello").unwrap(), Command::Hello);
+        assert_eq!(Command::parse("LIST").unwrap(), Command::List);
+        assert_eq!(Command::parse("USE alpha").unwrap(), Command::Use("alpha".into()));
+        assert_eq!(
+            Command::parse("START beta small 7 2").unwrap(),
+            Command::Start { name: "beta".into(), scale: "small".into(), seed: Some(7), weeks: Some(2) }
+        );
+        assert_eq!(
+            Command::parse("SUBSCRIBE rank,watermark").unwrap(),
+            Command::Subscribe(vec![Topic::Rank, Topic::Watermark])
+        );
+        assert_eq!(
+            Command::parse("AUTOCORR dl").unwrap(),
+            Command::Query(SnapshotQuery::Autocorr { dir: Direction::Down, lag: AUTOCORR_LAG_HOURS })
+        );
+
+        let err = Command::parse("RANK dl twenty").unwrap_err();
+        assert!(err.starts_with("bad RANK: twenty"), "unexpected message {err:?}");
+        let err = Command::parse("RANK sideways 3").unwrap_err();
+        assert!(err.starts_with("bad RANK: sideways"), "unexpected message {err:?}");
+        let err = Command::parse("USE").unwrap_err();
+        assert!(err.starts_with("bad USE: missing"), "unexpected message {err:?}");
+        let err = Command::parse("WATERMARK extra").unwrap_err();
+        assert!(err.starts_with("bad WATERMARK: extra"), "unexpected message {err:?}");
+        let err = Command::parse("FROBNICATE").unwrap_err();
+        assert!(err.starts_with("bad verb: FROBNICATE"), "unexpected message {err:?}");
+    }
+
+    #[test]
+    fn hour_lag_autocorr_matches_hand_cases() {
+        // A perfect 24h-periodic series correlates exactly at lag 24.
+        let periodic: Vec<f64> = (0..168).map(|h| ((h % 24) as f64).sin()).collect();
+        let r = hour_lag_autocorr(&periodic, 24).unwrap();
+        assert!((r - 1.0).abs() < 1e-12, "periodic series lag-24 r = {r}");
+        // A constant series has no defined correlation.
+        assert_eq!(hour_lag_autocorr(&[1.0; 168], 24), None);
+        // Too-short windows are None, not NaN.
+        assert_eq!(hour_lag_autocorr(&periodic[..25], 24), None);
+        assert_eq!(hour_lag_autocorr(&periodic, 0), None);
+        // An alternating series anti-correlates at lag 1.
+        let alternating: Vec<f64> = (0..48).map(|h| if h % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = hour_lag_autocorr(&alternating, 1).unwrap();
+        assert!((r + 1.0).abs() < 1e-12, "alternating series lag-1 r = {r}");
     }
 }

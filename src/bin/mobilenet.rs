@@ -7,8 +7,9 @@
 //! mobilenet map       [--scale S] [--seed N] [--service NAME] [--width W]
 //! mobilenet forecast  [--scale S] [--seed N]             predictability report
 //! mobilenet export    [--scale S] [--seed N] --out FILE  dataset CSV for offline analysis
-//! mobilenet serve     [--scale S] [--seed N] [--addr A]  live query service (ingest + TCP server)
-//! mobilenet query     [--addr A] [--body-only] Q...      scripted client for a running server
+//! mobilenet serve     [--scale S] [--seed N] [--addr A] [--weeks W] [--study NAME=SCALE[:SEED[:WEEKS]]]...
+//! mobilenet query     [--addr A] [--use STUDY] [--body-only] Q...
+//! mobilenet watch     [--addr A] [--use STUDY] [--topics LIST] [--events N]
 //! ```
 //!
 //! Scales: `small` (1k communes), `medium` (6k), `france` (36k),
@@ -31,11 +32,21 @@
 //! the output is bit-identical at every chunk size.
 //!
 //! `serve` binds `--addr` (default `127.0.0.1:7878`), prints the bound
-//! address, then ingests on a background thread while answering queries;
-//! it runs until a client sends `SHUTDOWN`. `query` connects to a
-//! running server, sends each `Q` as one protocol line and prints the
-//! responses (`--body-only` drops the `OK <n>` frame — handy for piping
-//! `DATASET` into a file to diff against a batch `export`).
+//! address, then ingests on background threads while answering queries;
+//! it runs until a client sends `SHUTDOWN`. One study per `--study`
+//! spec is served (`NAME=SCALE[:SEED[:WEEKS]]`, repeatable); without
+//! `--study`, a single study named `default` runs at
+//! `--scale`/`--seed`/`--weeks`. `--weeks W` folds `W` consecutive
+//! weeks through the 168-hour ring in the memory of a one-week run.
+//!
+//! `query` connects a typed client to a running server, optionally
+//! selects a study (`--use STUDY`), sends each `Q` as one protocol line
+//! and prints the responses (`--body-only` drops the `OK <n>` frame —
+//! handy for piping `DATASET` into a file to diff against a batch
+//! `export`). `watch` subscribes to a study's delta stream
+//! (`--topics watermark,version,rank,autocorr` or `all`) and prints one
+//! `<seq> <payload>` line per event until the stream ends or `--events
+//! N` have been printed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -64,14 +75,21 @@ struct Args {
     addr: String,
     body_only: bool,
     queries: Vec<String>,
+    weeks: usize,
+    studies: Vec<String>,
+    use_study: Option<String>,
+    topics: String,
+    events: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mobilenet <overview|ranking|peaks|map|forecast|export|serve|query> \
+        "usage: mobilenet <overview|ranking|peaks|map|forecast|export|serve|query|watch> \
          [--scale small|medium|france|national] [--seed N] [--uplink] \
          [--service NAME] [--width W] [--out FILE] [--threads N] [--obs FILE] \
-         [--faults SPEC] [--chunk-size N] [--addr HOST:PORT] [--body-only] [QUERY...]"
+         [--faults SPEC] [--chunk-size N] [--addr HOST:PORT] [--weeks N] \
+         [--study NAME=SCALE[:SEED[:WEEKS]]] [--use STUDY] [--topics LIST] \
+         [--events N] [--body-only] [QUERY...]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +115,11 @@ fn parse() -> Result<Args, ExitCode> {
         addr: "127.0.0.1:7878".into(),
         body_only: false,
         queries: Vec::new(),
+        weeks: 1,
+        studies: Vec::new(),
+        use_study: None,
+        topics: "all".into(),
+        events: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -156,6 +179,31 @@ fn parse() -> Result<Args, ExitCode> {
             }
             "--addr" => args.addr = argv.next().ok_or_else(usage)?,
             "--body-only" => args.body_only = true,
+            "--weeks" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+                if n == 0 {
+                    return Err(usage());
+                }
+                args.weeks = n;
+            }
+            "--study" => args.studies.push(argv.next().ok_or_else(usage)?),
+            "--use" => args.use_study = Some(argv.next().ok_or_else(usage)?),
+            "--topics" => args.topics = argv.next().ok_or_else(usage)?,
+            "--events" => {
+                let n: usize = argv
+                    .next()
+                    .ok_or_else(usage)?
+                    .parse()
+                    .map_err(|_| usage())?;
+                if n == 0 {
+                    return Err(usage());
+                }
+                args.events = Some(n);
+            }
             other if args.command == "query" && !other.starts_with("--") => {
                 args.queries.push(other.to_string());
             }
@@ -197,6 +245,7 @@ fn run(args: &Args) -> Result<(), CliError> {
     match args.command.as_str() {
         "serve" => return run_serve(args),
         "query" => return run_query(args),
+        "watch" => return run_watch(args),
         _ => {}
     }
     let dir = if args.uplink { Direction::Up } else { Direction::Down };
@@ -319,83 +368,156 @@ fn run(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `mobilenet serve`: bind the query server, then stream the week on a
-/// background thread while answering clients; runs until `SHUTDOWN`.
+/// One `--study NAME=SCALE[:SEED[:WEEKS]]` spec, resolved.
+struct StudySpec {
+    name: String,
+    scale: Scale,
+    seed: u64,
+    weeks: usize,
+}
+
+/// Parses a `--study` spec; seed and weeks fall back to the global
+/// `--seed`/`--weeks` flags.
+fn parse_study_spec(spec: &str, default_seed: u64, default_weeks: usize) -> Result<StudySpec, String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("bad --study {spec:?} (expected NAME=SCALE[:SEED[:WEEKS]])"))?;
+    let mut parts = rest.split(':');
+    let scale: Scale = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|e: Error| format!("bad --study {spec:?}: {e}"))?;
+    let seed = match parts.next() {
+        None => default_seed,
+        Some(t) => t.parse().map_err(|_| format!("bad --study {spec:?}: seed {t:?}"))?,
+    };
+    let weeks = match parts.next() {
+        None => default_weeks,
+        Some(t) => t.parse().map_err(|_| format!("bad --study {spec:?}: weeks {t:?}"))?,
+    };
+    if weeks == 0 {
+        return Err(format!("bad --study {spec:?}: weeks must be at least 1"));
+    }
+    if parts.next().is_some() {
+        return Err(format!("bad --study {spec:?} (expected NAME=SCALE[:SEED[:WEEKS]])"));
+    }
+    Ok(StudySpec { name: name.to_string(), scale, seed, weeks })
+}
+
+/// `mobilenet serve`: register every requested study, bind the query
+/// server, then stream each study's weeks on background threads while
+/// answering clients; runs until `SHUTDOWN`.
 fn run_serve(args: &Args) -> Result<(), CliError> {
     if let Some(n) = args.threads {
         mobilenet::par::set_thread_override(Some(n));
     }
     // The health endpoint needs the registry live regardless of --obs.
     mobilenet::obs::set_enabled(Some(true));
-    let mut config = args.scale.config();
-    if let Some(plan) = &args.faults {
-        config = config.with_faults(plan.clone());
+    let config_err = |e: String| CliError::Pipeline(Error::Config(e));
+    let specs: Vec<StudySpec> = if args.studies.is_empty() {
+        vec![StudySpec {
+            name: "default".into(),
+            scale: args.scale,
+            seed: args.seed,
+            weeks: args.weeks,
+        }]
+    } else {
+        args.studies
+            .iter()
+            .map(|s| parse_study_spec(s, args.seed, args.weeks))
+            .collect::<Result<_, _>>()
+            .map_err(config_err)?
+    };
+    let registry = mobilenet::StudyRegistry::new();
+    let mut entries = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let mut config = spec.scale.config();
+        if let Some(plan) = &args.faults {
+            config = config.with_faults(plan.clone());
+        }
+        if let Some(n) = args.chunk_size {
+            config = config.with_chunk_size(n);
+        }
+        eprintln!(
+            "generating {} model for study {} (seed {}, {} week(s))...",
+            spec.scale, spec.name, spec.seed, spec.weeks
+        );
+        let entry = registry
+            .register_config(&spec.name, spec.scale.name(), &config, spec.seed, spec.weeks)
+            .map_err(config_err)?;
+        entries.push(entry);
     }
-    if let Some(n) = args.chunk_size {
-        config = config.with_chunk_size(n);
-    }
-    eprintln!("generating {} model (seed {})...", args.scale, args.seed);
-    let state = mobilenet::LiveState::from_config(&config, args.seed)
-        .map_err(|e| CliError::Pipeline(Error::Config(e)))?;
-    let mut server = mobilenet::spawn_server(state.clone(), &args.addr).map_err(Error::Io)?;
+    let mut server =
+        mobilenet::spawn_registry_server(registry.clone(), &args.addr).map_err(Error::Io)?;
     // Scripts scrape this line for the (possibly ephemeral) bound port;
     // it must appear before ingestion starts.
     println!("listening on {}", server.addr());
-    let ingest_state = state.clone();
-    let ingest = std::thread::spawn(move || {
-        let result = ingest_state.run_ingestion();
-        match &result {
-            Ok(stats) => eprintln!(
-                "ingestion complete: {} records in {} chunks, peak resident {}",
-                stats.records, stats.chunks, stats.peak_resident_records
-            ),
-            Err(e) => eprintln!("ingestion failed: {e}"),
-        }
-        result
-    });
-    server.wait();
-    match ingest.join() {
-        Ok(Ok(_)) => Ok(()),
-        Ok(Err(e)) => Err(Error::Config(format!("live ingestion failed: {e}")).into()),
-        Err(_) => Err(Error::Config("live ingestion panicked".into()).into()),
+    for entry in &entries {
+        registry.start(entry).map_err(config_err)?;
     }
+    server.wait();
+    registry.shutdown();
+    let failures = mobilenet::obs::snapshot().counter("serve.ingest_errors").unwrap_or(0);
+    if failures > 0 {
+        return Err(Error::Config(format!("{failures} ingestion run(s) failed")).into());
+    }
+    Ok(())
 }
 
-/// `mobilenet query`: send each query as one protocol line and print the
-/// responses.
+fn client_err(e: mobilenet::serve::ClientError) -> CliError {
+    CliError::Pipeline(Error::Config(e.to_string()))
+}
+
+/// `mobilenet query`: send each query through the typed client and print
+/// the responses.
 fn run_query(args: &Args) -> Result<(), CliError> {
-    use std::io::{BufRead as _, Write as _};
-    let stream = std::net::TcpStream::connect(&args.addr).map_err(Error::Io)?;
-    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(Error::Io)?);
-    let mut writer = stream;
+    let mut client = mobilenet::Client::connect(&args.addr).map_err(client_err)?;
+    if let Some(study) = &args.use_study {
+        client.use_study(study).map_err(client_err)?;
+    }
     let mut failed = false;
     for q in &args.queries {
-        writeln!(writer, "{q}").map_err(Error::Io)?;
-        writer.flush().map_err(Error::Io)?;
-        let mut head = String::new();
-        reader.read_line(&mut head).map_err(Error::Io)?;
-        let head = head.trim_end().to_string();
-        if let Some(n) = head.strip_prefix("OK ") {
-            let n: usize = n
-                .parse()
-                .map_err(|_| Error::Config(format!("malformed response frame {head:?}")))?;
-            if !args.body_only {
-                println!("{head}");
+        match client.request(q) {
+            Ok(body) => {
+                if !args.body_only {
+                    println!("OK {}", body.len());
+                }
+                for line in &body {
+                    println!("{line}");
+                }
             }
-            let mut line = String::new();
-            for _ in 0..n {
-                line.clear();
-                reader.read_line(&mut line).map_err(Error::Io)?;
-                print!("{line}");
+            Err(mobilenet::serve::ClientError::Server(msg)) => {
+                eprintln!("{q}: ERR {msg}");
+                failed = true;
             }
-        } else {
-            eprintln!("{q}: {head}");
-            failed = true;
+            Err(e) => return Err(client_err(e)),
         }
     }
-    let _ = writeln!(writer, "QUIT");
+    let _ = client.quit();
     if failed {
         return Err(Error::Config("one or more queries failed".into()).into());
+    }
+    Ok(())
+}
+
+/// `mobilenet watch`: subscribe to a study's delta stream and print one
+/// `<seq> <payload>` line per event.
+fn run_watch(args: &Args) -> Result<(), CliError> {
+    let mut client = mobilenet::Client::connect(&args.addr).map_err(client_err)?;
+    if let Some(study) = &args.use_study {
+        let info = client.use_study(study).map_err(client_err)?;
+        eprintln!("watching {}", info.protocol_line());
+    }
+    let topics = mobilenet::Topic::parse_list(&args.topics)
+        .map_err(|e| CliError::Pipeline(Error::Config(e)))?;
+    let subscription = client.subscribe(topics).map_err(client_err)?;
+    for (printed, item) in subscription.enumerate() {
+        let (seq, event) = item.map_err(client_err)?;
+        println!("{seq} {}", event.to_wire());
+        if args.events.is_some_and(|n| printed + 1 >= n) {
+            break;
+        }
     }
     Ok(())
 }

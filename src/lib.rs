@@ -59,4 +59,7 @@ pub use mobilenet_core::{
     CollectOptions, Error, FaultPlan, FaultStats, FoldStrategy, IngestStats, OutageWindow,
     Pipeline, PipelineBuilder, Run, Scale, DEFAULT_CHUNK_SIZE, DEFAULT_SEED,
 };
-pub use mobilenet_serve::{spawn_server, LiveSnapshot, LiveState, ServerHandle, SnapshotQuery};
+pub use mobilenet_serve::{
+    spawn_registry_server, spawn_server, Client, DeltaEvent, LiveSnapshot, LiveState,
+    ServerHandle, SnapshotQuery, StudyInfo, StudyRegistry, Topic, PROTOCOL_VERSION,
+};
